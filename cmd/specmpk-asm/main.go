@@ -1,0 +1,80 @@
+// Command specmpk-asm assembles, disassembles and functionally executes
+// text assembly for the repro ISA.
+//
+// Usage:
+//
+//	specmpk-asm dis  prog.s        print the resolved listing
+//	specmpk-asm run  prog.s        execute on the functional simulator
+//	specmpk-asm enc  prog.s out.bin  write the binary image
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"specmpk/internal/asm"
+	"specmpk/internal/funcsim"
+	"specmpk/internal/isa"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	verb, file := os.Args[1], os.Args[2]
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	switch verb {
+	case "dis":
+		fmt.Print(prog.Disassemble())
+	case "fmt":
+		out, err := asm.Format(prog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "enc":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		if err := os.WriteFile(os.Args[3], isa.EncodeProgram(prog.Insts), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d instructions, %d bytes\n", len(prog.Insts), len(prog.Insts)*isa.InstBytes)
+	case "run":
+		m, err := funcsim.New(prog)
+		if err != nil {
+			fatal(err)
+		}
+		runErr := m.Run(100_000_000, 1)
+		t := m.Threads[0]
+		fmt.Printf("instructions  %d\n", m.Stats.Insts)
+		fmt.Printf("pc            0x%x  halted=%v\n", t.PC, t.Halted)
+		fmt.Printf("pkru          %v\n", t.PKRU)
+		for r := 0; r < isa.NumRegs; r += 4 {
+			fmt.Printf("r%-2d %#18x  r%-2d %#18x  r%-2d %#18x  r%-2d %#18x\n",
+				r, t.Regs[r], r+1, t.Regs[r+1], r+2, t.Regs[r+2], r+3, t.Regs[r+3])
+		}
+		if runErr != nil {
+			fatal(runErr)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: specmpk-asm dis|fmt|run|enc <file.s> [out.bin]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "specmpk-asm: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,173 @@
+// Command specmpk-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	specmpk-bench [-workloads a,b,c] [-parallel N] <experiment>...
+//
+// Experiments: table1 table2 table3 fig3 fig4 fig9 fig10 fig11 fig13 hwcost
+// all. Each prints the same rows/series the paper reports, plus the paper's
+// quoted aggregate for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specmpk/internal/experiments"
+)
+
+func main() {
+	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (default: GOMAXPROCS)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON rows instead of tables")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	r := experiments.Runner{Parallelism: *parallel}
+	if *workloads != "" {
+		r.Workloads = strings.Split(*workloads, ",")
+	}
+	for _, name := range flag.Args() {
+		var err error
+		if *asJSON {
+			err = runJSON(r, name)
+		} else {
+			err = run(r, name)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "specmpk-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runJSON(r experiments.Runner, name string) error {
+	rows, err := experiments.RowsFor(r, name)
+	if err != nil {
+		return err
+	}
+	return experiments.WriteJSON(os.Stdout, name, rows)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: specmpk-bench [flags] <experiment>...
+
+experiments:
+  table1   isolation-technique property matrix (Table I)
+  table2   SpecMPK's additional source operands (Table II)
+  table3   simulated machine configuration (Table III)
+  fig3     speculative-WRPKRU speedup + rename-stall share (Figure 3)
+  fig4     compiler vs serialization overhead breakdown (Figure 4)
+  fig9     normalized IPC of SpecMPK and NonSecure (Figure 9)
+  fig10    WRPKRU per kilo-instruction (Figure 10)
+  fig11    ROB_pkru size sensitivity (Figure 11)
+  fig13    flush+reload attack latencies (Figure 13)
+  hwcost   added sequential state (Section VIII)
+  vdom     key-virtualization scaling sweep (extension; paper Section III-B)
+  window   instruction-window sweep on the densest workload (extension)
+  pkrusafe unsafe-library heap isolation overhead (extension; Section III-B)
+  rdpkru   pkey_set read-modify-write vs load-immediate updates (Section V-C6)
+  all      everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func run(r experiments.Runner, name string) error {
+	switch name {
+	case "table1":
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable1(rows))
+	case "table2":
+		fmt.Print(experiments.RenderTable2(experiments.Table2()))
+	case "table3":
+		fmt.Print(experiments.RenderTable3())
+	case "fig3":
+		rows, err := experiments.Fig3(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig3(rows))
+	case "fig4":
+		rows, err := experiments.Fig4(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig4(rows))
+	case "fig9":
+		rows, err := experiments.Fig9(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig9(rows))
+	case "fig10":
+		rows, err := experiments.Fig10(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig10(rows))
+	case "fig11":
+		rows, err := experiments.Fig11(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig11(rows))
+	case "fig13":
+		res, err := experiments.Fig13()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig13(res))
+	case "hwcost":
+		fmt.Print(experiments.RenderHWCost(experiments.HWCost()))
+	case "vdom":
+		rows, err := experiments.VDomSweep()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderVDom(rows))
+	case "window":
+		name := "520.omnetpp_r"
+		if len(r.Workloads) == 1 {
+			name = r.Workloads[0]
+		}
+		rows, err := experiments.WindowSweep(name)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderWindow(name, rows))
+	case "pkrusafe":
+		rows, err := experiments.PKRUSafe()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderPKRUSafe(rows))
+	case "rdpkru":
+		rows, err := experiments.Rdpkru(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderRdpkru(rows))
+	case "all":
+		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4",
+			"fig9", "fig10", "fig11", "fig13", "hwcost", "vdom", "window",
+			"pkrusafe", "rdpkru"} {
+			if err := run(r, e); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

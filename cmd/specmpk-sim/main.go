@@ -1,0 +1,180 @@
+// Command specmpk-sim runs one workload (or an assembly file) on the
+// cycle-level simulator and prints the run's statistics.
+//
+// Usage:
+//
+//	specmpk-sim -workload 520.omnetpp_r [-mode specmpk] [-variant full]
+//	specmpk-sim -asm prog.s [-mode serialized]
+//	specmpk-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specmpk/internal/asm"
+	"specmpk/internal/isa"
+	"specmpk/internal/pipeline"
+	"specmpk/internal/pipeview"
+	"specmpk/internal/textplot"
+	"specmpk/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "", "catalogue workload to run")
+		asmFile  = flag.String("asm", "", "assembly file to run instead of a workload")
+		mode     = flag.String("mode", "specmpk", "microarchitecture: serialized | nonsecure | specmpk")
+		variant  = flag.String("variant", "full", "instrumentation: full | nop | none | rdpkru")
+		robPkru  = flag.Int("robpkru", 8, "ROB_pkru entries")
+		maxCyc   = flag.Uint64("cycles", 500_000_000, "cycle budget")
+		list     = flag.Bool("list", false, "list catalogue workloads and exit")
+		showDisq = flag.Bool("disasm", false, "print the program disassembly before running")
+		trace    = flag.Uint64("trace", 0, "print the first N retired instructions")
+		pview    = flag.Uint64("pipeview", 0, "print a pipeline diagram for the first N retired instructions")
+		timeline = flag.Bool("timeline", false, "print an IPC-over-time chart (1k-cycle samples)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Catalog() {
+			fmt.Printf("%-20s %-9s %-4s target %5.1f wrpkru/kinst\n",
+				p.Name, p.Suite, p.Scheme, p.TargetWrpkruPerKilo)
+		}
+		return
+	}
+
+	prog, err := buildProgram(*wl, *asmFile, *variant)
+	if err != nil {
+		fatal(err)
+	}
+	if *showDisq {
+		fmt.Print(prog.Disassemble())
+	}
+	// The paper's §IX-B security analysis assumes WRPKRU values are
+	// speculation-independent load-immediates; warn when a program breaks
+	// that discipline.
+	for _, v := range asm.CheckWrpkruDiscipline(prog) {
+		fmt.Fprintf(os.Stderr, "specmpk-sim: warning: WRPKRU discipline (§IX-B): %v\n", v)
+	}
+
+	cfg := pipeline.DefaultConfig()
+	cfg.ROBPkruSize = *robPkru
+	switch *mode {
+	case "serialized":
+		cfg.Mode = pipeline.ModeSerialized
+	case "nonsecure":
+		cfg.Mode = pipeline.ModeNonSecure
+	case "specmpk":
+		cfg.Mode = pipeline.ModeSpecMPK
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	m, err := pipeline.New(cfg, prog)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace > 0 {
+		count := uint64(0)
+		m.OnRetire = func(seq, pc uint64, in isa.Inst) {
+			if count < *trace {
+				fmt.Printf("retire %6d  cyc %8d  0x%06x  %s\n", seq, m.Cycle(), pc, in)
+			}
+			count++
+		}
+	}
+	var recs []pipeline.TraceRecord
+	if *pview > 0 {
+		m.OnTrace = func(r pipeline.TraceRecord) {
+			if uint64(len(recs)) < *pview {
+				recs = append(recs, r)
+			}
+		}
+	}
+	var runErr error
+	if *timeline {
+		const sample = 1000
+		var ipcs []float64
+		lastI := uint64(0)
+		for m.Cycle() < *maxCyc && !m.Halted() && m.Fault() == nil && runErr == nil {
+			runErr = m.RunInsts(^uint64(0), m.Cycle()+sample)
+			if runErr == pipeline.ErrCycleLimit {
+				runErr = nil // just the sampling boundary
+			}
+			ipcs = append(ipcs, float64(m.Stats.Insts-lastI)/sample)
+			lastI = m.Stats.Insts
+		}
+		fmt.Print(textplot.Timeline("IPC over time (1k-cycle samples)", ipcs, 100))
+	} else {
+		runErr = m.Run(*maxCyc)
+	}
+	if *pview > 0 {
+		fmt.Print(pipeview.Render(recs, 100))
+	}
+	printStats(m, cfg)
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func buildProgram(wl, asmFile, variant string) (*asm.Program, error) {
+	switch {
+	case wl != "" && asmFile != "":
+		return nil, fmt.Errorf("use -workload or -asm, not both")
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Parse(string(src))
+	case wl != "":
+		p, ok := workload.ByName(wl)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (try -list)", wl)
+		}
+		var v workload.Variant
+		switch variant {
+		case "full":
+			v = workload.VariantFull
+		case "nop":
+			v = workload.VariantNop
+		case "none":
+			v = workload.VariantNone
+		case "rdpkru":
+			v = workload.VariantRdpkru
+		default:
+			return nil, fmt.Errorf("unknown variant %q", variant)
+		}
+		return p.Build(v)
+	}
+	return nil, fmt.Errorf("need -workload or -asm (or -list)")
+}
+
+func printStats(m *pipeline.Machine, cfg pipeline.Config) {
+	s := m.Stats
+	fmt.Printf("mode               %v (ROB_pkru=%d)\n", cfg.Mode, cfg.ROBPkruSize)
+	fmt.Printf("cycles             %d\n", s.Cycles)
+	fmt.Printf("instructions       %d\n", s.Insts)
+	fmt.Printf("IPC                %.3f\n", s.IPC())
+	fmt.Printf("branches           %d (%.2f%% mispredicted)\n", s.Branches, 100*s.MispredictRate())
+	fmt.Printf("loads/stores       %d / %d (%d forwarded)\n", s.Loads, s.Stores, s.LoadsForwarded)
+	fmt.Printf("wrpkru             %d (%.2f per kinst)\n", s.Wrpkru, s.WrpkruPerKilo())
+	fmt.Printf("rename stalls      %d cycles (%d serialize, %d ROB_pkru-full)\n",
+		s.RenameStallCycles, s.SerializeStallCycles, s.PkruFullStallCycles)
+	fmt.Printf("pkru load stalls   %d (head replays), %d no-forward stores, %d blocked loads\n",
+		s.LoadsStalledTillHead, s.StoresNoForward, s.ForwardBlockedLoads)
+	fmt.Printf("L1D                %d hits, %d misses (%.2f%%)\n",
+		m.Hier.L1D.Stats.Hits, m.Hier.L1D.Stats.Misses, 100*m.Hier.L1D.Stats.MissRate())
+	fmt.Printf("DTLB               %d hits, %d misses (%.2f%%)\n",
+		m.DTLB.Stats.Hits, m.DTLB.Stats.Misses, 100*m.DTLB.Stats.MissRate())
+	if f := m.Fault(); f != nil {
+		fmt.Printf("fault              %v\n", f)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "specmpk-sim: %v\n", err)
+	os.Exit(1)
+}

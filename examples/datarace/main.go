@@ -1,0 +1,61 @@
+// Data-race example: the paper's §IX-D non-security use case. Kard-style
+// detection assigns each shared object a protection key, locks every object
+// key down on critical-section entry, and learns (lock, object)
+// associations from the resulting MPK faults; an object touched under two
+// different locks is an inconsistent-lock-usage data race.
+//
+//	go run ./examples/datarace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specmpk/internal/kard"
+	"specmpk/internal/pipeline"
+)
+
+func main() {
+	fmt.Println("== scenario 1: both threads use lock 1 for the shared counter ==")
+	det, err := kard.RunScenario(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(det)
+
+	fmt.Println("\n== scenario 2: thread 1 uses lock 2 for the same counter ==")
+	det, err = kard.RunScenario(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(det)
+
+	fmt.Println("\n== scenario 3: the same protocol on the cycle-level machines ==")
+	for _, mode := range []pipeline.Mode{
+		pipeline.ModeSerialized, pipeline.ModeNonSecure, pipeline.ModeSpecMPK,
+	} {
+		res, err := kard.RunPipelineScenario(mode, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11v faults=%d races=%d counter=%d finished=%v\n",
+			mode, res.Faults, len(res.Races), res.Counter, res.Finished)
+	}
+
+	fmt.Println("\nSpecMPK preserves this protocol (paper §IX-D): the disabling PKRU")
+	fmt.Println("update always precedes the object access, so the WRPKRU-window check")
+	fmt.Println("(or the committed PKRU) flags the access, and the precise fault still")
+	fmt.Println("fires at retirement — identical detections on all three machines.")
+}
+
+func report(det *kard.Detector) {
+	fmt.Printf("MPK faults trapped: %d\n", det.Faults)
+	if len(det.Races) == 0 {
+		fmt.Println("data races: none")
+	} else {
+		fmt.Printf("data races: %d (first: %v)\n", len(det.Races), det.Races[0])
+	}
+	for _, u := range det.Unlocked {
+		fmt.Printf("unlocked access: pkey %d by thread %d\n", u.PKey, u.Thread)
+	}
+}

@@ -1,0 +1,77 @@
+// Quickstart: assemble a small MPK-protected program and run it on all
+// three WRPKRU microarchitectures, printing cycle counts and the committed
+// architectural result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specmpk"
+)
+
+const src = `
+# A loop that pushes a counter into a write-protected region each
+# iteration, enabling and re-protecting the region around the store —
+# the shadow-stack idiom that makes WRPKRU serialization expensive.
+.region shadow 0x60000000 0x1000 rw 1
+.initreg gp 0x60000000
+
+main:
+    movi t5, 0x00000000        # PKRU: everything enabled
+    movi t6, 0x00000008        # PKRU: key 1 write-disabled (bit 3)
+    wrpkru t6                  # enter protected steady state
+    movi t0, 2000              # iterations
+    movi t1, 0                 # checksum
+loop:
+    wrpkru t5                  # enable shadow writes
+    st t0, 0(gp)               # protected push
+    wrpkru t6                  # re-protect
+    add t3, t3, t0             # ... the function body runs here; in real
+    mul t4, t3, t0             # shadow-stack usage the epilogue read is
+    add t3, t3, t4             # far from the prologue store ...
+    add t4, t4, t0
+    add t3, t3, t4
+    add t4, t4, t0
+    add t3, t3, t4
+    add t4, t4, t0
+    add t3, t3, t4
+    add t4, t4, t0
+    add t3, t3, t4
+    add t4, t4, t0
+    ld t2, 0(gp)               # reads stay legal under write-disable
+    add t1, t1, t2
+    addi t0, t0, -1
+    bne t0, zero, loop
+    halt
+`
+
+func main() {
+	prog, err := specmpk.ParseAsm(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mode        cycles      IPC    result(t1)")
+	var baseline uint64
+	for _, mode := range []specmpk.Mode{specmpk.Serialized, specmpk.NonSecure, specmpk.SpecMPK} {
+		cfg := specmpk.DefaultConfig()
+		cfg.Mode = mode
+		m, err := specmpk.NewMachine(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Run(50_000_000); err != nil {
+			log.Fatal(err)
+		}
+		if mode == specmpk.Serialized {
+			baseline = m.Stats.Cycles
+		}
+		fmt.Printf("%-10v %8d  %6.3f  %d  (%.2fx vs serialized)\n",
+			mode, m.Stats.Cycles, m.Stats.IPC(), m.ArchReg(10),
+			float64(baseline)/float64(m.Stats.Cycles))
+	}
+	fmt.Println("\nSpecMPK keeps the serialized machine's security guarantees at the")
+	fmt.Println("speculative machine's performance — that is the paper's contribution.")
+}

@@ -1,0 +1,3 @@
+module specmpk
+
+go 1.22

@@ -1,0 +1,307 @@
+package asm
+
+import (
+	"fmt"
+
+	"specmpk/internal/isa"
+	"specmpk/internal/mem"
+)
+
+// Builder assembles a Program from function bodies with symbolic labels.
+// Functions are laid out in definition order starting at the code base;
+// labels are function-local, function names are global.
+type Builder struct {
+	codeBase uint64
+	funcs    []*FuncBuilder
+	byName   map[string]*FuncBuilder
+	regions  []Region
+	data     []DataSeg
+	dataSyms []dataSym
+	initRegs map[uint8]uint64
+	entry    string
+	errs     []error
+}
+
+type dataSym struct {
+	addr uint64
+	fn   string
+}
+
+// NewBuilder starts a program at the given code base address.
+func NewBuilder(codeBase uint64) *Builder {
+	return &Builder{
+		codeBase: codeBase,
+		byName:   make(map[string]*FuncBuilder),
+		initRegs: make(map[uint8]uint64),
+		entry:    "main",
+	}
+}
+
+// SetEntry names the entry function (default "main").
+func (b *Builder) SetEntry(name string) { b.entry = name }
+
+// Region declares a mapped range.
+func (b *Builder) Region(name string, base, size uint64, prot mem.Prot, pkey int) {
+	b.regions = append(b.regions, Region{Name: name, Base: base, Size: size, Prot: prot, PKey: pkey})
+}
+
+// Data preloads bytes at addr.
+func (b *Builder) Data(addr uint64, bytes []byte) {
+	b.data = append(b.data, DataSeg{Addr: addr, Bytes: bytes})
+}
+
+// DataSymbol preloads the 8-byte little-endian address of a function at
+// addr once layout is known (function-pointer tables for the CPI scheme).
+func (b *Builder) DataSymbol(addr uint64, fn string) {
+	b.dataSyms = append(b.dataSyms, dataSym{addr: addr, fn: fn})
+}
+
+// InitReg seeds a register before execution.
+func (b *Builder) InitReg(reg uint8, val uint64) { b.initRegs[reg] = val }
+
+// Func opens (or reopens) a function body.
+func (b *Builder) Func(name string) *FuncBuilder {
+	if f, ok := b.byName[name]; ok {
+		return f
+	}
+	f := &FuncBuilder{b: b, name: name, labels: make(map[string]int)}
+	b.funcs = append(b.funcs, f)
+	b.byName[name] = f
+	return f
+}
+
+type fixup struct {
+	instIdx int    // index within the function
+	label   string // local label or global function name
+}
+
+// FuncBuilder emits instructions into one function.
+type FuncBuilder struct {
+	b      *Builder
+	name   string
+	insts  []isa.Inst
+	labels map[string]int
+	fixups []fixup
+}
+
+// Name returns the function's symbol name.
+func (f *FuncBuilder) Name() string { return f.name }
+
+// Len returns the number of instructions emitted so far.
+func (f *FuncBuilder) Len() int { return len(f.insts) }
+
+// Emit appends a raw instruction.
+func (f *FuncBuilder) Emit(in isa.Inst) *FuncBuilder {
+	f.insts = append(f.insts, in)
+	return f
+}
+
+// Label binds a function-local label at the current position.
+func (f *FuncBuilder) Label(name string) *FuncBuilder {
+	if _, dup := f.labels[name]; dup {
+		f.b.errs = append(f.b.errs, fmt.Errorf("asm: duplicate label %q in %s", name, f.name))
+	}
+	f.labels[name] = len(f.insts)
+	return f
+}
+
+func (f *FuncBuilder) emitRef(in isa.Inst, label string) *FuncBuilder {
+	f.fixups = append(f.fixups, fixup{instIdx: len(f.insts), label: label})
+	return f.Emit(in)
+}
+
+// --- convenience emitters -------------------------------------------------
+
+// Nop emits a no-op.
+func (f *FuncBuilder) Nop() *FuncBuilder { return f.Emit(isa.Inst{Op: isa.OpNop}) }
+
+// Halt stops the machine.
+func (f *FuncBuilder) Halt() *FuncBuilder { return f.Emit(isa.Inst{Op: isa.OpHalt}) }
+
+// Op3 emits a register-register ALU op.
+func (f *FuncBuilder) Op3(op isa.Op, rd, rs1, rs2 uint8) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Add emits rd = rs1 + rs2.
+func (f *FuncBuilder) Add(rd, rs1, rs2 uint8) *FuncBuilder { return f.Op3(isa.OpAdd, rd, rs1, rs2) }
+
+// Sub emits rd = rs1 - rs2.
+func (f *FuncBuilder) Sub(rd, rs1, rs2 uint8) *FuncBuilder { return f.Op3(isa.OpSub, rd, rs1, rs2) }
+
+// Xor emits rd = rs1 ^ rs2.
+func (f *FuncBuilder) Xor(rd, rs1, rs2 uint8) *FuncBuilder { return f.Op3(isa.OpXor, rd, rs1, rs2) }
+
+// Mul emits rd = rs1 * rs2.
+func (f *FuncBuilder) Mul(rd, rs1, rs2 uint8) *FuncBuilder { return f.Op3(isa.OpMul, rd, rs1, rs2) }
+
+// Addi emits rd = rs1 + imm.
+func (f *FuncBuilder) Addi(rd, rs1 uint8, imm int64) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Andi emits rd = rs1 & imm.
+func (f *FuncBuilder) Andi(rd, rs1 uint8, imm int64) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpAndi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Shli emits rd = rs1 << imm.
+func (f *FuncBuilder) Shli(rd, rs1 uint8, imm int64) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpShli, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Shri emits rd = rs1 >> imm (logical).
+func (f *FuncBuilder) Shri(rd, rs1 uint8, imm int64) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpShri, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Movi emits rd = imm.
+func (f *FuncBuilder) Movi(rd uint8, imm int64) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpMovi, Rd: rd, Imm: imm})
+}
+
+// Ld emits rd = mem64[rs1+imm].
+func (f *FuncBuilder) Ld(rd, rs1 uint8, imm int64) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpLd, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// St emits mem64[rs1+imm] = rs2.
+func (f *FuncBuilder) St(rs2, rs1 uint8, imm int64) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpSt, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Lb emits rd = mem8[rs1+imm].
+func (f *FuncBuilder) Lb(rd, rs1 uint8, imm int64) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpLb, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Sb emits mem8[rs1+imm] = rs2.
+func (f *FuncBuilder) Sb(rs2, rs1 uint8, imm int64) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpSb, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Branch emits a conditional branch to a local label.
+func (f *FuncBuilder) Branch(op isa.Op, rs1, rs2 uint8, label string) *FuncBuilder {
+	if !op.IsCondBranch() {
+		f.b.errs = append(f.b.errs, fmt.Errorf("asm: %v is not a branch", op))
+	}
+	return f.emitRef(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Beq branches to label when rs1 == rs2.
+func (f *FuncBuilder) Beq(rs1, rs2 uint8, label string) *FuncBuilder {
+	return f.Branch(isa.OpBeq, rs1, rs2, label)
+}
+
+// Bne branches to label when rs1 != rs2.
+func (f *FuncBuilder) Bne(rs1, rs2 uint8, label string) *FuncBuilder {
+	return f.Branch(isa.OpBne, rs1, rs2, label)
+}
+
+// Blt branches to label when rs1 < rs2 (signed).
+func (f *FuncBuilder) Blt(rs1, rs2 uint8, label string) *FuncBuilder {
+	return f.Branch(isa.OpBlt, rs1, rs2, label)
+}
+
+// Bge branches to label when rs1 >= rs2 (signed).
+func (f *FuncBuilder) Bge(rs1, rs2 uint8, label string) *FuncBuilder {
+	return f.Branch(isa.OpBge, rs1, rs2, label)
+}
+
+// Jump emits an unconditional jump to a local label or function name.
+func (f *FuncBuilder) Jump(label string) *FuncBuilder {
+	return f.emitRef(isa.Inst{Op: isa.OpJal, Rd: isa.RegZero}, label)
+}
+
+// Call emits a call (jal ra) to a function name or local label.
+func (f *FuncBuilder) Call(target string) *FuncBuilder {
+	return f.emitRef(isa.Inst{Op: isa.OpJal, Rd: isa.RegRA}, target)
+}
+
+// CallIndirect emits jalr ra, imm(rs1).
+func (f *FuncBuilder) CallIndirect(rs1 uint8, imm int64) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpJalr, Rd: isa.RegRA, Rs1: rs1, Imm: imm})
+}
+
+// Ret emits a function return.
+func (f *FuncBuilder) Ret() *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA})
+}
+
+// Wrpkru emits wrpkru rs1.
+func (f *FuncBuilder) Wrpkru(rs1 uint8) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpWrpkru, Rs1: rs1})
+}
+
+// Rdpkru emits rdpkru rd.
+func (f *FuncBuilder) Rdpkru(rd uint8) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpRdpkru, Rd: rd})
+}
+
+// Clflush emits clflush imm(rs1).
+func (f *FuncBuilder) Clflush(rs1 uint8, imm int64) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpClflush, Rs1: rs1, Imm: imm})
+}
+
+// Rdcycle emits rdcycle rd.
+func (f *FuncBuilder) Rdcycle(rd uint8) *FuncBuilder {
+	return f.Emit(isa.Inst{Op: isa.OpRdcycle, Rd: rd})
+}
+
+// Link lays out all functions, resolves labels and calls to absolute
+// addresses, and produces the executable Program.
+func (b *Builder) Link() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	// Assign function base addresses.
+	symbols := make(map[string]uint64, len(b.funcs))
+	addr := b.codeBase
+	for _, f := range b.funcs {
+		symbols[f.name] = addr
+		addr += uint64(len(f.insts)) * isa.InstBytes
+	}
+	entry, ok := symbols[b.entry]
+	if !ok {
+		return nil, fmt.Errorf("asm: entry function %q not defined", b.entry)
+	}
+	var insts []isa.Inst
+	for _, f := range b.funcs {
+		base := symbols[f.name]
+		body := make([]isa.Inst, len(f.insts))
+		copy(body, f.insts)
+		for _, fx := range f.fixups {
+			var target uint64
+			if idx, ok := f.labels[fx.label]; ok {
+				target = base + uint64(idx)*isa.InstBytes
+			} else if t, ok := symbols[fx.label]; ok {
+				target = t
+			} else {
+				return nil, fmt.Errorf("asm: undefined label %q in %s", fx.label, f.name)
+			}
+			body[fx.instIdx].Imm = int64(target)
+		}
+		insts = append(insts, body...)
+	}
+	data := append([]DataSeg(nil), b.data...)
+	for _, ds := range b.dataSyms {
+		target, ok := symbols[ds.fn]
+		if !ok {
+			return nil, fmt.Errorf("asm: data symbol references undefined function %q", ds.fn)
+		}
+		bts := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			bts[i] = byte(target >> (8 * i))
+		}
+		data = append(data, DataSeg{Addr: ds.addr, Bytes: bts})
+	}
+	return &Program{
+		CodeBase: b.codeBase,
+		Entry:    entry,
+		Insts:    insts,
+		Regions:  append([]Region(nil), b.regions...),
+		Data:     data,
+		InitRegs: b.initRegs,
+		Symbols:  symbols,
+	}, nil
+}

@@ -1,0 +1,96 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"specmpk/internal/isa"
+)
+
+func linkOf(t *testing.T, f func(b *Builder)) *Program {
+	t.Helper()
+	b := NewBuilder(0x10000)
+	f(b)
+	p, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDisciplineCleanProgram(t *testing.T) {
+	p := linkOf(t, func(b *Builder) {
+		f := b.Func("main")
+		f.Movi(9, 0x8)
+		f.Wrpkru(9)
+		f.Movi(10, 0)
+		f.Nop() // unrelated instruction between movi and wrpkru is fine
+		f.Wrpkru(10)
+		f.Wrpkru(isa.RegZero) // r0 is a constant
+		f.Halt()
+	})
+	if v := CheckWrpkruDiscipline(p); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestDisciplineFlagsLoadedValue(t *testing.T) {
+	p := linkOf(t, func(b *Builder) {
+		f := b.Func("main")
+		f.Movi(4, 0x20000000)
+		f.Ld(9, 4, 0) // PKRU value from memory: attacker-reachable
+		f.Wrpkru(9)
+		f.Halt()
+	})
+	v := CheckWrpkruDiscipline(p)
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "not a load-immediate") {
+		t.Fatalf("violations: %v", v)
+	}
+	if !strings.Contains(v[0].String(), "wrpkru") {
+		t.Fatalf("render: %s", v[0])
+	}
+}
+
+func TestDisciplineFlagsBranchBetween(t *testing.T) {
+	p := linkOf(t, func(b *Builder) {
+		f := b.Func("main")
+		f.Movi(9, 0x8)
+		f.Beq(10, isa.RegZero, "skip")
+		f.Addi(11, 11, 1)
+		f.Label("skip")
+		f.Wrpkru(9) // the branch join precedes the WRPKRU
+		f.Halt()
+	})
+	v := CheckWrpkruDiscipline(p)
+	if len(v) != 1 {
+		t.Fatalf("violations: %v", v)
+	}
+	if !strings.Contains(v[0].Reason, "boundary") && !strings.Contains(v[0].Reason, "control flow") {
+		t.Fatalf("unexpected reason: %v", v)
+	}
+}
+
+func TestDisciplineFlagsComputedValue(t *testing.T) {
+	p := linkOf(t, func(b *Builder) {
+		f := b.Func("main")
+		f.Movi(9, 4)
+		f.Add(9, 9, 9)
+		f.Wrpkru(9)
+		f.Halt()
+	})
+	if v := CheckWrpkruDiscipline(p); len(v) != 1 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestDisciplineFlagsUndefinedSource(t *testing.T) {
+	p := linkOf(t, func(b *Builder) {
+		f := b.Func("main")
+		f.Wrpkru(9)
+		f.Halt()
+	})
+	v := CheckWrpkruDiscipline(p)
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "no defining write") {
+		t.Fatalf("violations: %v", v)
+	}
+}

@@ -1,0 +1,165 @@
+package attack
+
+import (
+	"testing"
+
+	"specmpk/internal/asm"
+	"specmpk/internal/funcsim"
+	"specmpk/internal/pipeline"
+)
+
+func TestGadgetRunsFunctionally(t *testing.T) {
+	prog, err := BuildGadget(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := funcsim.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Architecturally the attack path is never taken, so the run must be
+	// fault-free even though array1 is access-disabled.
+	if err := m.Run(1_000_000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonSecureLeaks(t *testing.T) {
+	res, err := Run(pipeline.ModeNonSecure, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TrainingVisible() {
+		t.Fatalf("training value must be hot; latency=%d", res.Latency[res.Cfg.TrainValue])
+	}
+	if !res.Leaked() {
+		t.Fatalf("NonSecure must leak the secret; latency=%d", res.Latency[res.Cfg.SecretValue])
+	}
+	hot := res.HotIndices()
+	if len(hot) > 8 {
+		t.Fatalf("too many hot indices (noise): %v", hot)
+	}
+}
+
+func TestSpecMPKBlocksLeak(t *testing.T) {
+	res, err := Run(pipeline.ModeSpecMPK, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TrainingVisible() {
+		t.Fatalf("training value must still be hot; latency=%d", res.Latency[res.Cfg.TrainValue])
+	}
+	if res.Leaked() {
+		t.Fatalf("SpecMPK must not leak; latency=%d", res.Latency[res.Cfg.SecretValue])
+	}
+}
+
+func TestSerializedBlocksLeak(t *testing.T) {
+	res, err := Run(pipeline.ModeSerialized, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leaked() {
+		t.Fatalf("serialized WRPKRU must not leak; latency=%d", res.Latency[res.Cfg.SecretValue])
+	}
+}
+
+func TestCustomSecretValue(t *testing.T) {
+	cfg := Config{TrainValue: 10, SecretValue: 200, TrainRounds: 60}
+	res, err := Run(pipeline.ModeNonSecure, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Leaked() {
+		t.Fatal("leak must follow the configured secret value")
+	}
+	if res.Latency[101] > 0 && res.Latency[101] < res.Threshold {
+		t.Fatal("default secret index must not be hot with a custom secret")
+	}
+}
+
+func TestAllEntriesMeasured(t *testing.T) {
+	res, err := Run(pipeline.ModeSpecMPK, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lat := range res.Latency {
+		if lat == 0 {
+			t.Fatalf("probe entry %d never measured", i)
+		}
+	}
+}
+
+// TestGadgetSatisfiesCompilerDiscipline: the attack works even when the
+// victim obeys the paper's §IX-B load-immediate rule.
+func TestGadgetSatisfiesCompilerDiscipline(t *testing.T) {
+	prog, err := BuildGadget(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := asm.CheckWrpkruDiscipline(prog); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+// --- Fig. 12(d): Spectre-BTI variant ---------------------------------------
+
+func TestBTILeaksOnNonSecure(t *testing.T) {
+	res, err := RunBTI(pipeline.ModeNonSecure, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TrainingVisible() {
+		t.Fatal("training value must be hot")
+	}
+	if !res.Leaked() {
+		t.Fatalf("BTI must leak on NonSecure; latency=%d", res.Latency[res.Cfg.SecretValue])
+	}
+}
+
+func TestBTIBlockedBySpecMPKAndSerialized(t *testing.T) {
+	for _, mode := range []pipeline.Mode{pipeline.ModeSpecMPK, pipeline.ModeSerialized} {
+		res, err := RunBTI(mode, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Leaked() {
+			t.Fatalf("%v: BTI leak must be blocked; latency=%d", mode, res.Latency[res.Cfg.SecretValue])
+		}
+	}
+}
+
+func TestBTIGadgetSatisfiesDiscipline(t *testing.T) {
+	prog, err := BuildBTIGadget(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := asm.CheckWrpkruDiscipline(prog); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+// --- §III-C: speculative buffer overflow -----------------------------------
+
+func TestOverflowForwardsOnNonSecure(t *testing.T) {
+	res, err := RunOverflow(pipeline.ModeNonSecure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CorruptLeaked {
+		t.Fatal("transiently stored value must forward and leak on NonSecure")
+	}
+}
+
+func TestOverflowBlockedBySpecMPKAndSerialized(t *testing.T) {
+	for _, mode := range []pipeline.Mode{pipeline.ModeSpecMPK, pipeline.ModeSerialized} {
+		res, err := RunOverflow(mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.CorruptLeaked {
+			t.Fatalf("%v: forwarding of the corrupt value must be suppressed (lat=%d)",
+				mode, res.CorruptLatency)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package core implements the SpecMPK microarchitecture state proper
+// (paper §V): the dedicated PKRU reorder buffer (ROB_pkru), the
+// architectural PKRU register (ARF_pkru), the PKRU rename map (RMT_pkru),
+// and the per-pKey AccessDisable/WriteDisable counter files, together with
+// the PKRU Load Check and PKRU Store Check predicates.
+//
+// The out-of-order pipeline drives this state machine at four points:
+//
+//	rename:  Full / Rename / SourceTag
+//	execute: Executed / Execute / LoadCheckFails / StoreCheckFails / Value
+//	retire:  Retire
+//	squash:  SquashYoungest / SetRMT
+//
+// Keeping it separate from the pipeline makes the paper's hardware additions
+// independently testable and lets internal/hwcost account for exactly these
+// structures.
+package core
+
+import (
+	"fmt"
+
+	"specmpk/internal/mpk"
+)
+
+// TagARF is the rename tag meaning "the committed PKRU in ARF_pkru"
+// (no in-flight WRPKRU precedes the consumer).
+const TagARF = -1
+
+// Entry is one ROB_pkru slot: a speculative PKRU value plus the two pKey
+// bitmaps used to decrement the Disabling Counters on retire or squash
+// (paper §V-C1 stores these bitmaps in ROB_pkru).
+type Entry struct {
+	Val      mpk.PKRU
+	Executed bool
+	ADMask   uint16
+	WDMask   uint16
+	Seq      uint64 // owning instruction's sequence number (diagnostics)
+}
+
+// Config sizes the structure.
+type Config struct {
+	// ROBSize is the number of ROB_pkru entries (Table III default: 8).
+	ROBSize int
+}
+
+// State is the complete SpecMPK hardware addition.
+type State struct {
+	rob   []Entry
+	head  int
+	tail  int
+	count int
+
+	arf mpk.PKRU
+
+	rmtValid bool
+	rmtTag   int
+
+	adCtr [mpk.NumKeys]uint16
+	wdCtr [mpk.NumKeys]uint16
+
+	// RenameStalls counts rename-stage stalls due to a full ROB_pkru
+	// (the Fig. 11 sensitivity effect).
+	RenameStalls uint64
+}
+
+// New builds the state with the given configuration.
+func New(cfg Config) *State {
+	if cfg.ROBSize <= 0 {
+		panic("core: ROB_pkru size must be positive")
+	}
+	return &State{rob: make([]Entry, cfg.ROBSize), rmtTag: TagARF}
+}
+
+// Reset restores power-on state with the given committed PKRU.
+func (s *State) Reset(pkru mpk.PKRU) {
+	s.head, s.tail, s.count = 0, 0, 0
+	s.arf = pkru
+	s.rmtValid = false
+	s.rmtTag = TagARF
+	s.adCtr = [mpk.NumKeys]uint16{}
+	s.wdCtr = [mpk.NumKeys]uint16{}
+}
+
+// Size returns the ROB_pkru capacity.
+func (s *State) Size() int { return len(s.rob) }
+
+// InFlight returns the number of occupied ROB_pkru entries.
+func (s *State) InFlight() int { return s.count }
+
+// Full reports whether renaming another WRPKRU must stall the front end.
+func (s *State) Full() bool { return s.count == len(s.rob) }
+
+// ARF returns the committed PKRU value.
+func (s *State) ARF() mpk.PKRU { return s.arf }
+
+// SetARF installs a committed PKRU directly (used by the serialized
+// microarchitecture, which bypasses renaming entirely).
+func (s *State) SetARF(v mpk.PKRU) { s.arf = v }
+
+// SourceTag returns the tag a PKRU consumer (memory instruction, WRPKRU, or
+// RDPKRU) renames its implicit PKRU source to: the youngest in-flight
+// WRPKRU's entry, or TagARF when none is in flight.
+func (s *State) SourceTag() int {
+	if s.rmtValid {
+		return s.rmtTag
+	}
+	return TagARF
+}
+
+// RMTValid reports whether any WRPKRU is in flight (RDPKRU serialization
+// stalls rename while this is true, §V-C6).
+func (s *State) RMTValid() bool { return s.rmtValid }
+
+// Rename allocates a ROB_pkru entry for a WRPKRU at rename, updates
+// RMT_pkru to point at it, and returns its tag. The caller must have
+// checked Full.
+func (s *State) Rename(seq uint64) int {
+	if s.Full() {
+		panic("core: Rename on full ROB_pkru")
+	}
+	tag := s.tail
+	s.rob[tag] = Entry{Seq: seq}
+	s.tail = (s.tail + 1) % len(s.rob)
+	s.count++
+	s.rmtValid = true
+	s.rmtTag = tag
+	return tag
+}
+
+// Executed reports whether the entry at tag has produced its value.
+// TagARF is always "executed" (the committed value is always readable).
+func (s *State) Executed(tag int) bool {
+	if tag == TagARF {
+		return true
+	}
+	return s.rob[tag].Executed
+}
+
+// Execute delivers a WRPKRU's value to its entry and bumps the Disabling
+// Counters for every pKey the new value disables (paper §V-C1: counters
+// are incremented in the execution stage, in program order because WRPKRU
+// instructions are chained through the renamed PKRU source).
+func (s *State) Execute(tag int, val mpk.PKRU) {
+	e := &s.rob[tag]
+	if e.Executed {
+		panic(fmt.Sprintf("core: double execute of ROB_pkru entry %d", tag))
+	}
+	e.Val = val
+	e.Executed = true
+	e.ADMask = val.ADMask()
+	e.WDMask = val.WDMask()
+	s.bump(e.ADMask, e.WDMask, +1)
+}
+
+// Value returns the PKRU value visible at tag: the entry's value, or the
+// committed ARF for TagARF. Only the NonSecure microarchitecture reads
+// speculative values through this; SpecMPK memory instructions never read
+// ROB_pkru data (paper Table II note).
+func (s *State) Value(tag int) mpk.PKRU {
+	if tag == TagARF {
+		return s.arf
+	}
+	return s.rob[tag].Val
+}
+
+// Retire pops the oldest entry into ARF_pkru and decrements the counters
+// using the entry's stored bitmaps.
+func (s *State) Retire() {
+	if s.count == 0 {
+		panic("core: Retire on empty ROB_pkru")
+	}
+	e := &s.rob[s.head]
+	if !e.Executed {
+		panic("core: Retire of unexecuted WRPKRU")
+	}
+	s.arf = e.Val
+	s.bump(e.ADMask, e.WDMask, -1)
+	if s.rmtValid && s.rmtTag == s.head {
+		s.rmtValid = false
+	}
+	s.head = (s.head + 1) % len(s.rob)
+	s.count--
+}
+
+// SquashYoungest removes the newest entry (tail side) on a pipeline squash,
+// undoing its counter increments if it had executed. Returns the squashed
+// tag. The caller restores RMT_pkru afterwards with SetRMT.
+func (s *State) SquashYoungest() int {
+	if s.count == 0 {
+		panic("core: SquashYoungest on empty ROB_pkru")
+	}
+	s.tail--
+	if s.tail < 0 {
+		s.tail += len(s.rob)
+	}
+	e := &s.rob[s.tail]
+	if e.Executed {
+		s.bump(e.ADMask, e.WDMask, -1)
+	}
+	s.count--
+	return s.tail
+}
+
+// SetRMT repairs the rename map after a squash: tag is the youngest
+// surviving WRPKRU's entry, or TagARF when none survives.
+func (s *State) SetRMT(tag int) {
+	if tag == TagARF {
+		s.rmtValid = false
+		s.rmtTag = TagARF
+		return
+	}
+	s.rmtValid = true
+	s.rmtTag = tag
+}
+
+func (s *State) bump(ad, wd uint16, delta int) {
+	for k := 0; k < mpk.NumKeys; k++ {
+		if ad&(1<<k) != 0 {
+			s.adCtr[k] = uint16(int(s.adCtr[k]) + delta)
+		}
+		if wd&(1<<k) != 0 {
+			s.wdCtr[k] = uint16(int(s.wdCtr[k]) + delta)
+		}
+	}
+}
+
+// ADCount returns the AccessDisableCounter for key k.
+func (s *State) ADCount(k int) uint16 { return s.adCtr[k] }
+
+// WDCount returns the WriteDisableCounter for key k.
+func (s *State) WDCount(k int) uint16 { return s.wdCtr[k] }
+
+// LoadCheckFails is the PKRU Load Check (paper §V-C2): a load touching
+// pKey k must stall until retirement if any in-flight WRPKRU disables
+// access to k or the committed PKRU has k access-disabled.
+func (s *State) LoadCheckFails(k int) bool {
+	return s.adCtr[k] > 0 || s.arf.AccessDisabled(k)
+}
+
+// StoreCheckFails is the PKRU Store Check: store-to-load forwarding is
+// disabled for a store touching pKey k if either Disabling Counter is
+// nonzero for k or the committed PKRU has k access- or write-disabled.
+func (s *State) StoreCheckFails(k int) bool {
+	return s.adCtr[k] > 0 || s.wdCtr[k] > 0 ||
+		s.arf.AccessDisabled(k) || s.arf.WriteDisabled(k)
+}
+
+// Quiesced reports whether the structure is idle with zeroed counters —
+// the invariant property tests check after every drain.
+func (s *State) Quiesced() bool {
+	if s.count != 0 || s.rmtValid {
+		return false
+	}
+	for k := 0; k < mpk.NumKeys; k++ {
+		if s.adCtr[k] != 0 || s.wdCtr[k] != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"specmpk/internal/mpk"
+)
+
+func deny(keys ...int) mpk.PKRU {
+	r := mpk.AllowAll
+	for _, k := range keys {
+		r = r.WithKey(k, mpk.Perm{AD: true, WD: true})
+	}
+	return r
+}
+
+func TestRenameExecuteRetireFlow(t *testing.T) {
+	s := New(Config{ROBSize: 4})
+	if s.SourceTag() != TagARF {
+		t.Fatal("idle source tag must be ARF")
+	}
+	tag := s.Rename(1)
+	if s.SourceTag() != tag || !s.RMTValid() {
+		t.Fatal("RMT must track the new entry")
+	}
+	if s.Executed(tag) {
+		t.Fatal("fresh entry must be unexecuted")
+	}
+	v := deny(3)
+	s.Execute(tag, v)
+	if !s.Executed(tag) || s.Value(tag) != v {
+		t.Fatal("execute must publish the value")
+	}
+	if s.ADCount(3) != 1 || s.WDCount(3) != 1 {
+		t.Fatal("counters must reflect the in-flight disable")
+	}
+	s.Retire()
+	if s.ARF() != v {
+		t.Fatal("retire must commit to ARF")
+	}
+	if !s.Quiesced() {
+		t.Fatal("state must quiesce after drain")
+	}
+}
+
+func TestLoadCheckScenarios(t *testing.T) {
+	// The three Figure 7 scenarios for pKey 1.
+	// Scenario 1: latest update disables access.
+	s := New(Config{ROBSize: 8})
+	tag := s.Rename(1)
+	s.Execute(tag, deny(1))
+	if !s.LoadCheckFails(1) {
+		t.Fatal("scenario 1: load must stall")
+	}
+
+	// Scenario 2: committed disables, latest enables.
+	s = New(Config{ROBSize: 8})
+	s.SetARF(deny(1))
+	tag = s.Rename(1)
+	s.Execute(tag, mpk.AllowAll)
+	if !s.LoadCheckFails(1) {
+		t.Fatal("scenario 2: committed AD must stall the load")
+	}
+
+	// Scenario 3: committed and latest enable, an intermediate disables.
+	s = New(Config{ROBSize: 8})
+	t1 := s.Rename(1)
+	s.Execute(t1, deny(1))
+	t2 := s.Rename(2)
+	s.Execute(t2, mpk.AllowAll)
+	if !s.LoadCheckFails(1) {
+		t.Fatal("scenario 3: intermediate disable must stall the load")
+	}
+
+	// No disable anywhere: check passes.
+	s = New(Config{ROBSize: 8})
+	tag = s.Rename(1)
+	s.Execute(tag, mpk.AllowAll)
+	if s.LoadCheckFails(1) {
+		t.Fatal("clean window must not stall")
+	}
+	// Other keys unaffected by a key-1 disable.
+	s = New(Config{ROBSize: 8})
+	tag = s.Rename(1)
+	s.Execute(tag, deny(1))
+	if s.LoadCheckFails(0) || s.LoadCheckFails(2) {
+		t.Fatal("unrelated keys must pass")
+	}
+}
+
+func TestStoreCheckIncludesWD(t *testing.T) {
+	s := New(Config{ROBSize: 4})
+	tag := s.Rename(1)
+	wdOnly := mpk.AllowAll.WithKey(2, mpk.Perm{WD: true})
+	s.Execute(tag, wdOnly)
+	if s.LoadCheckFails(2) {
+		t.Fatal("WD alone must not stall loads")
+	}
+	if !s.StoreCheckFails(2) {
+		t.Fatal("WD must disable store forwarding")
+	}
+	// Committed WD also fails the store check.
+	s2 := New(Config{ROBSize: 4})
+	s2.SetARF(wdOnly)
+	if !s2.StoreCheckFails(2) {
+		t.Fatal("committed WD must disable store forwarding")
+	}
+	if s2.LoadCheckFails(2) {
+		t.Fatal("committed WD must not stall loads")
+	}
+}
+
+func TestRetireClearsRMTOnlyForHead(t *testing.T) {
+	s := New(Config{ROBSize: 4})
+	t1 := s.Rename(1)
+	t2 := s.Rename(2)
+	s.Execute(t1, mpk.AllowAll)
+	s.Execute(t2, deny(5))
+	s.Retire() // retires t1
+	if !s.RMTValid() || s.SourceTag() != t2 {
+		t.Fatal("RMT must still point at the younger entry")
+	}
+	s.Retire() // retires t2, which RMT points at
+	if s.RMTValid() {
+		t.Fatal("RMT must invalidate when its entry commits")
+	}
+	if s.ARF() != deny(5) {
+		t.Fatal("ARF must hold the last committed value")
+	}
+}
+
+func TestSquashUndoesCounters(t *testing.T) {
+	s := New(Config{ROBSize: 4})
+	t1 := s.Rename(1)
+	s.Execute(t1, deny(1))
+	t2 := s.Rename(2)
+	s.Execute(t2, deny(2))
+	t3 := s.Rename(3) // not yet executed
+
+	// Squash t3 and t2 (youngest first), keep t1.
+	if got := s.SquashYoungest(); got != t3 {
+		t.Fatalf("squashed %d, want %d", got, t3)
+	}
+	if got := s.SquashYoungest(); got != t2 {
+		t.Fatalf("squashed %d, want %d", got, t2)
+	}
+	s.SetRMT(t1)
+	if s.ADCount(2) != 0 {
+		t.Fatal("squashed executed entry must decrement counters")
+	}
+	if s.ADCount(1) != 1 {
+		t.Fatal("surviving entry's counters must remain")
+	}
+	if s.SourceTag() != t1 {
+		t.Fatal("RMT must point at the survivor")
+	}
+	// The tail slot must be reusable.
+	t4 := s.Rename(4)
+	s.Execute(t4, mpk.AllowAll)
+	s.Retire()
+	s.Retire()
+	if !s.Quiesced() {
+		t.Fatal("state must quiesce")
+	}
+}
+
+func TestSquashAllRestoresARFOnly(t *testing.T) {
+	s := New(Config{ROBSize: 4})
+	s.SetARF(deny(7))
+	t1 := s.Rename(1)
+	s.Execute(t1, mpk.AllowAll)
+	s.SquashYoungest()
+	s.SetRMT(TagARF)
+	if !s.Quiesced() {
+		t.Fatal("full squash must quiesce")
+	}
+	if s.ARF() != deny(7) {
+		t.Fatal("ARF untouched by squash")
+	}
+	if !s.LoadCheckFails(7) {
+		t.Fatal("committed disable must still gate loads")
+	}
+}
+
+func TestFullAndCapacity(t *testing.T) {
+	s := New(Config{ROBSize: 2})
+	s.Rename(1)
+	if s.Full() {
+		t.Fatal("one of two entries used")
+	}
+	s.Rename(2)
+	if !s.Full() || s.InFlight() != 2 {
+		t.Fatal("must be full")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rename on full must panic")
+		}
+	}()
+	s.Rename(3)
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero size", func() { New(Config{}) })
+	mustPanic("retire empty", func() { New(Config{ROBSize: 2}).Retire() })
+	mustPanic("squash empty", func() { New(Config{ROBSize: 2}).SquashYoungest() })
+	mustPanic("retire unexecuted", func() {
+		s := New(Config{ROBSize: 2})
+		s.Rename(1)
+		s.Retire()
+	})
+	mustPanic("double execute", func() {
+		s := New(Config{ROBSize: 2})
+		tg := s.Rename(1)
+		s.Execute(tg, mpk.AllowAll)
+		s.Execute(tg, mpk.AllowAll)
+	})
+}
+
+func TestValueTagARF(t *testing.T) {
+	s := New(Config{ROBSize: 2})
+	s.SetARF(deny(4))
+	if s.Value(TagARF) != deny(4) {
+		t.Fatal("Value(TagARF) must read the committed PKRU")
+	}
+	if !s.Executed(TagARF) {
+		t.Fatal("TagARF is always ready")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(Config{ROBSize: 4})
+	tag := s.Rename(1)
+	s.Execute(tag, deny(1))
+	s.Reset(deny(9))
+	if !s.Quiesced() {
+		t.Fatal("reset must quiesce")
+	}
+	if s.ARF() != deny(9) {
+		t.Fatal("reset must install the given PKRU")
+	}
+}
+
+// Property test: a random interleaving of rename/execute/retire/squash
+// operations never drives a counter negative (they are uint16 — negative
+// shows up as huge) and always quiesces when fully drained.
+func TestCounterConservationRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		s := New(Config{ROBSize: 8})
+		type flight struct {
+			tag      int
+			executed bool
+		}
+		var inflight []flight
+		seq := uint64(0)
+		for op := 0; op < 300; op++ {
+			switch r.Intn(4) {
+			case 0: // rename
+				if !s.Full() {
+					seq++
+					inflight = append(inflight, flight{tag: s.Rename(seq)})
+				}
+			case 1: // execute oldest unexecuted (program order)
+				for i := range inflight {
+					if !inflight[i].executed {
+						s.Execute(inflight[i].tag, mpk.PKRU(r.Uint32()))
+						inflight[i].executed = true
+						break
+					}
+				}
+			case 2: // retire head if executed
+				if len(inflight) > 0 && inflight[0].executed {
+					s.Retire()
+					inflight = inflight[1:]
+				}
+			case 3: // squash a random-length suffix
+				n := r.Intn(len(inflight) + 1)
+				for i := 0; i < n; i++ {
+					s.SquashYoungest()
+					inflight = inflight[:len(inflight)-1]
+				}
+				if len(inflight) == 0 {
+					s.SetRMT(TagARF)
+				} else {
+					s.SetRMT(inflight[len(inflight)-1].tag)
+				}
+			}
+			for k := 0; k < mpk.NumKeys; k++ {
+				if s.ADCount(k) > 8 || s.WDCount(k) > 8 {
+					t.Fatalf("counter overflow/underflow: key %d ad=%d wd=%d",
+						k, s.ADCount(k), s.WDCount(k))
+				}
+			}
+		}
+		// Drain.
+		for i := range inflight {
+			if !inflight[i].executed {
+				s.Execute(inflight[i].tag, mpk.PKRU(r.Uint32()))
+			}
+		}
+		for range inflight {
+			s.Retire()
+		}
+		if s.RMTValid() && s.InFlight() == 0 {
+			s.SetRMT(TagARF)
+		}
+		if s.InFlight() != 0 {
+			t.Fatal("drain incomplete")
+		}
+		for k := 0; k < mpk.NumKeys; k++ {
+			if s.ADCount(k) != 0 || s.WDCount(k) != 0 {
+				t.Fatalf("counters nonzero after drain: key %d", k)
+			}
+		}
+	}
+}

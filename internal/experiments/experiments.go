@@ -1,0 +1,578 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§III, §VII, §VIII, §IX). Each experiment returns typed rows —
+// consumed by cmd/specmpk-bench, the repository's benchmark suite, and
+// EXPERIMENTS.md — plus a text renderer that prints the same series the
+// paper plots.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"specmpk/internal/attack"
+	"specmpk/internal/funcsim"
+	"specmpk/internal/hwcost"
+	"specmpk/internal/isolation"
+	"specmpk/internal/pipeline"
+	"specmpk/internal/textplot"
+	"specmpk/internal/workload"
+)
+
+// Runner carries experiment-wide options.
+type Runner struct {
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Workloads restricts the catalogue (nil = all).
+	Workloads []string
+}
+
+func (r Runner) workers() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (r Runner) catalog() []workload.Profile {
+	cat := workload.Catalog()
+	if len(r.Workloads) == 0 {
+		return cat
+	}
+	var out []workload.Profile
+	for _, name := range r.Workloads {
+		if p, ok := workload.ByName(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// forEach runs f over the items with bounded parallelism, collecting the
+// first error.
+func forEach[T any](workers int, items []T, f func(T) error) error {
+	sem := make(chan struct{}, workers)
+	errCh := make(chan error, len(items))
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(it T) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := f(it); err != nil {
+				errCh <- err
+			}
+		}(it)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+func label(p workload.Profile) string {
+	return fmt.Sprintf("%s (%s)", p.Name, p.Scheme)
+}
+
+// runPipeline builds the workload at the variant and runs it on a machine.
+func runPipeline(p workload.Profile, v workload.Variant, cfg pipeline.Config) (pipeline.Stats, error) {
+	prog, err := p.Build(v)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	m, err := pipeline.New(cfg, prog)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	if err := m.Run(500_000_000); err != nil {
+		return pipeline.Stats{}, fmt.Errorf("%s/%v/%v: %w", p.Name, v, cfg.Mode, err)
+	}
+	return m.Stats, nil
+}
+
+func modeConfig(mode pipeline.Mode) pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.Mode = mode
+	return cfg
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+
+// Fig3Row is one bar pair of Figure 3: the speedup from letting WRPKRU
+// execute speculatively (NonSecure vs Serialized) and the share of cycles
+// the serialized machine loses to rename-stage WRPKRU stalls.
+type Fig3Row struct {
+	Workload       string
+	Speedup        float64
+	RenameStallPct float64
+}
+
+// Fig3 regenerates Figure 3 over the catalogue.
+func Fig3(r Runner) ([]Fig3Row, error) {
+	cat := r.catalog()
+	rows := make([]Fig3Row, len(cat))
+	err := forEach(r.workers(), indices(cat), func(i int) error {
+		p := cat[i]
+		ser, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeSerialized))
+		if err != nil {
+			return err
+		}
+		ns, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeNonSecure))
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig3Row{
+			Workload:       label(p),
+			Speedup:        ns.IPC() / ser.IPC(),
+			RenameStallPct: 100 * float64(ser.SerializeStallCycles) / float64(ser.Cycles),
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// RenderFig3 prints the figure as a table plus the paper-style summary.
+func RenderFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: speedup of speculative WRPKRU and rename-stall share\n")
+	fmt.Fprintf(&b, "%-24s %10s %14s\n", "workload", "speedup", "rename-stall%")
+	var sum, max float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %9.3fx %13.1f%%\n", r.Workload, r.Speedup, r.RenameStallPct)
+		sum += r.Speedup
+		if r.Speedup > max {
+			max = r.Speedup
+		}
+	}
+	fmt.Fprintf(&b, "average speedup %.2f%% (max %.2f%%); paper: 12.58%% avg, 48.43%% max\n",
+		100*(sum/float64(len(rows))-1), 100*(max-1))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+
+// Fig4Row decomposes the protection overhead on the serialized machine into
+// the compiler-transformation part (WRPKRU replaced by NOP) and the WRPKRU
+// serialization part — the Figure 4 methodology.
+type Fig4Row struct {
+	Workload            string
+	CompilerOverheadPct float64
+	SerializeOverhead   float64
+	TotalOverheadPct    float64
+}
+
+// Fig4 regenerates Figure 4.
+func Fig4(r Runner) ([]Fig4Row, error) {
+	cat := r.catalog()
+	rows := make([]Fig4Row, len(cat))
+	err := forEach(r.workers(), indices(cat), func(i int) error {
+		p := cat[i]
+		cfg := modeConfig(pipeline.ModeSerialized)
+		base, err := runPipeline(p, workload.VariantNone, cfg)
+		if err != nil {
+			return err
+		}
+		nop, err := runPipeline(p, workload.VariantNop, cfg)
+		if err != nil {
+			return err
+		}
+		full, err := runPipeline(p, workload.VariantFull, cfg)
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig4Row{
+			Workload:            label(p),
+			CompilerOverheadPct: 100 * (float64(nop.Cycles)/float64(base.Cycles) - 1),
+			SerializeOverhead:   100 * (float64(full.Cycles)/float64(nop.Cycles) - 1),
+			TotalOverheadPct:    100 * (float64(full.Cycles)/float64(base.Cycles) - 1),
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// RenderFig4 prints the overhead breakdown.
+func RenderFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: overhead breakdown on the serialized machine\n")
+	fmt.Fprintf(&b, "%-24s %12s %14s %10s\n", "workload", "compiler%", "serialization%", "total%")
+	var cSum, sSum float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %11.1f%% %13.1f%% %9.1f%%\n",
+			r.Workload, r.CompilerOverheadPct, r.SerializeOverhead, r.TotalOverheadPct)
+		cSum += r.CompilerOverheadPct
+		sSum += r.SerializeOverhead
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&b, "average: compiler %.1f%%, serialization %.1f%%; paper (native Cascade Lake): 10.28%% / 69.76%%\n",
+		cSum/n, sSum/n)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9
+
+// Fig9Row is one workload's normalized IPC for the two speculative
+// microarchitectures over the serialized baseline.
+type Fig9Row struct {
+	Workload      string
+	SerializedIPC float64
+	NonSecureNorm float64
+	SpecMPKNorm   float64
+}
+
+// Fig9 regenerates the headline result.
+func Fig9(r Runner) ([]Fig9Row, error) {
+	cat := r.catalog()
+	rows := make([]Fig9Row, len(cat))
+	err := forEach(r.workers(), indices(cat), func(i int) error {
+		p := cat[i]
+		ser, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeSerialized))
+		if err != nil {
+			return err
+		}
+		ns, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeNonSecure))
+		if err != nil {
+			return err
+		}
+		sp, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeSpecMPK))
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig9Row{
+			Workload:      label(p),
+			SerializedIPC: ser.IPC(),
+			NonSecureNorm: ns.IPC() / ser.IPC(),
+			SpecMPKNorm:   sp.IPC() / ser.IPC(),
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// Fig9Summary aggregates the figure the way the paper quotes it.
+type Fig9Summary struct {
+	AvgSpecMPKSpeedupPct float64
+	MaxSpecMPKSpeedupPct float64
+	AvgGapToNonSecurePct float64
+}
+
+// Summarize computes the quoted aggregates.
+func Summarize(rows []Fig9Row) Fig9Summary {
+	var sum, max, gap float64
+	for _, r := range rows {
+		sum += r.SpecMPKNorm
+		if r.SpecMPKNorm > max {
+			max = r.SpecMPKNorm
+		}
+		gap += r.NonSecureNorm - r.SpecMPKNorm
+	}
+	n := float64(len(rows))
+	return Fig9Summary{
+		AvgSpecMPKSpeedupPct: 100 * (sum/n - 1),
+		MaxSpecMPKSpeedupPct: 100 * (max - 1),
+		AvgGapToNonSecurePct: 100 * gap / n,
+	}
+}
+
+// RenderFig9 prints the normalized-IPC series.
+func RenderFig9(rows []Fig9Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: normalized IPC over the serialized WRPKRU machine\n")
+	fmt.Fprintf(&b, "%-24s %10s %12s %10s\n", "workload", "ser. IPC", "nonsecure", "specmpk")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %10.3f %11.3fx %9.3fx\n",
+			r.Workload, r.SerializedIPC, r.NonSecureNorm, r.SpecMPKNorm)
+	}
+	s := Summarize(rows)
+	fmt.Fprintf(&b, "SpecMPK speedup: avg %.2f%%, max %.2f%% (paper: 12.21%% avg, 48.42%% max); avg gap to NonSecure %.2f%%\n",
+		s.AvgSpecMPKSpeedupPct, s.MaxSpecMPKSpeedupPct, s.AvgGapToNonSecurePct)
+	b.WriteByte('\n')
+	labels := make([]string, len(rows))
+	ns := make([]float64, len(rows))
+	sp := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Workload
+		ns[i] = r.NonSecureNorm
+		sp[i] = r.SpecMPKNorm
+	}
+	b.WriteString(textplot.Bars("normalized IPC over serialized", labels,
+		[]string{"nonsecure", "specmpk"},
+		map[string][]float64{"nonsecure": ns, "specmpk": sp}, 44))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10
+
+// Fig10Row is one workload's dynamic WRPKRU density.
+type Fig10Row struct {
+	Workload       string
+	WrpkruPerKilo  float64
+	DynamicInsts   uint64
+	DynamicWrpkrus uint64
+}
+
+// Fig10 measures WRPKRU per kilo-instruction on the functional machine.
+func Fig10(r Runner) ([]Fig10Row, error) {
+	cat := r.catalog()
+	rows := make([]Fig10Row, len(cat))
+	err := forEach(r.workers(), indices(cat), func(i int) error {
+		p := cat[i]
+		prog, err := p.Build(workload.VariantFull)
+		if err != nil {
+			return err
+		}
+		m, err := funcsim.New(prog)
+		if err != nil {
+			return err
+		}
+		if err := m.Run(50_000_000, 1); err != nil {
+			return err
+		}
+		rows[i] = Fig10Row{
+			Workload:       label(p),
+			WrpkruPerKilo:  m.Stats.WrpkruPerKilo(),
+			DynamicInsts:   m.Stats.Insts,
+			DynamicWrpkrus: m.Stats.Wrpkru,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// RenderFig10 prints the density distribution.
+func RenderFig10(rows []Fig10Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: WRPKRU frequency in the dynamic instruction stream\n")
+	fmt.Fprintf(&b, "%-24s %14s %12s %10s\n", "workload", "wrpkru/kinst", "insts", "wrpkrus")
+	sorted := append([]Fig10Row(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].WrpkruPerKilo > sorted[j].WrpkruPerKilo })
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%-24s %14.2f %12d %10d\n", r.Workload, r.WrpkruPerKilo, r.DynamicInsts, r.DynamicWrpkrus)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11
+
+// Fig11Sizes are the swept ROB_pkru depths. The paper sweeps AL ratios
+// 1/96, 1/48 and 1/24 and its text maps them to 2, 4 and 8 entries; for the
+// 352-entry active list of Table III the 1/24 ratio actually lands at ~15
+// entries, so we sweep 16 as well — and it is the 16-entry point at which
+// the densest workload (520.omnetpp_r) matches NonSecure, consistent with
+// the paper's ratio-based claim.
+var Fig11Sizes = []int{2, 4, 8, 16}
+
+// Fig11Workloads is the subset §VII-1 discusses.
+var Fig11Workloads = []string{
+	"502.gcc_r", "500.perlbench_r", "531.deepsjeng_r", "541.leela_r",
+	"526.blender_r", "453.povray", "520.omnetpp_r", "471.omnetpp",
+}
+
+// Fig11Row is one workload's normalized IPC per ROB_pkru depth, with the
+// NonSecure bound for reference.
+type Fig11Row struct {
+	Workload      string
+	Norm          map[int]float64 // ROB_pkru size -> IPC normalized to serialized
+	NonSecureNorm float64
+}
+
+// Fig11 regenerates the sensitivity sweep.
+func Fig11(r Runner) ([]Fig11Row, error) {
+	if len(r.Workloads) == 0 {
+		r.Workloads = Fig11Workloads
+	}
+	cat := r.catalog()
+	rows := make([]Fig11Row, len(cat))
+	err := forEach(r.workers(), indices(cat), func(i int) error {
+		p := cat[i]
+		ser, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeSerialized))
+		if err != nil {
+			return err
+		}
+		ns, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeNonSecure))
+		if err != nil {
+			return err
+		}
+		row := Fig11Row{
+			Workload:      label(p),
+			Norm:          make(map[int]float64, len(Fig11Sizes)),
+			NonSecureNorm: ns.IPC() / ser.IPC(),
+		}
+		for _, size := range Fig11Sizes {
+			cfg := modeConfig(pipeline.ModeSpecMPK)
+			cfg.ROBPkruSize = size
+			sp, err := runPipeline(p, workload.VariantFull, cfg)
+			if err != nil {
+				return err
+			}
+			row.Norm[size] = sp.IPC() / ser.IPC()
+		}
+		rows[i] = row
+		return nil
+	})
+	return rows, err
+}
+
+// RenderFig11 prints the sweep.
+func RenderFig11(rows []Fig11Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: normalized IPC for ROB_pkru sizes (paper sweeps AL ratios\n")
+	fmt.Fprintf(&b, "1/96, 1/48, 1/24; 16 entries is the faithful 1/24 point for AL=352)\n")
+	fmt.Fprintf(&b, "%-24s %8s %8s %8s %8s %10s\n", "workload", "2-entry", "4-entry", "8-entry", "16-entry", "nonsecure")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %7.3fx %7.3fx %7.3fx %7.3fx %9.3fx\n",
+			r.Workload, r.Norm[2], r.Norm[4], r.Norm[8], r.Norm[16], r.NonSecureNorm)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13
+
+// Fig13Result bundles the flush+reload latencies for the two interesting
+// microarchitectures.
+type Fig13Result struct {
+	NonSecure attack.Result
+	SpecMPK   attack.Result
+}
+
+// Fig13 runs the proof-of-concept attack on both machines.
+func Fig13() (Fig13Result, error) {
+	cfg := attack.DefaultConfig()
+	ns, err := attack.Run(pipeline.ModeNonSecure, cfg)
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	sp, err := attack.Run(pipeline.ModeSpecMPK, cfg)
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	return Fig13Result{NonSecure: ns, SpecMPK: sp}, nil
+}
+
+// RenderFig13 prints the probe latencies around the hot indices plus the
+// hit sets.
+func RenderFig13(res Fig13Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: flush+reload latencies (train=%d, secret=%d)\n",
+		res.NonSecure.Cfg.TrainValue, res.NonSecure.Cfg.SecretValue)
+	fmt.Fprintf(&b, "%-8s %12s %12s\n", "index", "nonsecure", "specmpk")
+	interesting := map[int]bool{
+		int(res.NonSecure.Cfg.TrainValue):  true,
+		int(res.NonSecure.Cfg.SecretValue): true,
+	}
+	for i := 0; i < attack.ProbeEntries; i++ {
+		if !interesting[i] && i%64 != 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8d %11dc %11dc\n", i, res.NonSecure.Latency[i], res.SpecMPK.Latency[i])
+	}
+	fmt.Fprintf(&b, "hot indices: nonsecure %v, specmpk %v\n",
+		res.NonSecure.HotIndices(), res.SpecMPK.HotIndices())
+	fmt.Fprintf(&b, "leak: nonsecure=%v specmpk=%v (paper: NonSecure leaks 101, SpecMPK only 72 hot)\n",
+		res.NonSecure.Leaked(), res.SpecMPK.Leaked())
+	b.WriteByte('\n')
+	b.WriteString(textplot.Latency("NonSecure SpecMPK reload latency",
+		res.NonSecure.Latency[:], res.NonSecure.Threshold, 128))
+	b.WriteByte('\n')
+	b.WriteString(textplot.Latency("SpecMPK reload latency",
+		res.SpecMPK.Latency[:], res.SpecMPK.Threshold, 128))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+
+// Table1 evaluates the isolation-technique property matrix.
+func Table1() ([]isolation.Properties, error) { return isolation.Evaluate() }
+
+// RenderTable1 prints the property matrix with ticks.
+func RenderTable1(rows []isolation.Properties) string {
+	tick := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: properties of isolation techniques (executable models)\n")
+	fmt.Fprintf(&b, "%-10s %6s %8s %16s %12s  %s\n", "method", "fast", "secure", "least-privilege", "switch(cyc)", "notes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %6s %8s %16s %12.0f  %s\n",
+			r.Name, tick(r.FastInterleaved), tick(r.Secure), tick(r.LeastPrivilege), r.SwitchCycles, r.Notes)
+	}
+	return b.String()
+}
+
+// Table2Row is one row of the paper's Table II (new source operands).
+type Table2Row struct {
+	InstType    string
+	NewOperands []string
+}
+
+// Table2 returns the structural description of the additional source
+// operands SpecMPK introduces.
+func Table2() []Table2Row {
+	return []Table2Row{
+		{"Load", []string{"ROB_pkru", "ARF_pkru", "AccessDisableCounter"}},
+		{"Store", []string{"ROB_pkru", "ARF_pkru", "AccessDisableCounter", "WriteDisableCounter"}},
+		{"WRPKRU", []string{"ROB_pkru"}},
+	}
+}
+
+// RenderTable2 prints it.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: additional source operands in SpecMPK\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %s\n", r.InstType, strings.Join(r.NewOperands, ", "))
+	}
+	return b.String()
+}
+
+// RenderTable3 prints the simulated machine configuration.
+func RenderTable3() string {
+	cfg := pipeline.DefaultConfig()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III: simulation configuration\n")
+	fmt.Fprintf(&b, "issue/decode/commit width   %d\n", cfg.Width)
+	fmt.Fprintf(&b, "AL/LQ/SQ/IQ/PRF             %d/%d/%d/%d/%d\n",
+		cfg.ALSize, cfg.LQSize, cfg.SQSize, cfg.IQSize, cfg.PRFSize)
+	fmt.Fprintf(&b, "ROB_pkru                    %d\n", cfg.ROBPkruSize)
+	fmt.Fprintf(&b, "BTB / RAS                   %d / %d entries\n", cfg.BTBEntries, cfg.RASEntries)
+	fmt.Fprintf(&b, "direction predictor         TAGE (LTAGE-style)\n")
+	c := cfg.Caches
+	fmt.Fprintf(&b, "L1I  %dKB %d-way %dc | L1D %dKB %d-way %dc\n",
+		c.L1I.SizeB>>10, c.L1I.Ways, c.L1I.Latency, c.L1D.SizeB>>10, c.L1D.Ways, c.L1D.Latency)
+	fmt.Fprintf(&b, "L2   %dKB %d-way %dc | L3  %dMB %d-way %dc | DRAM %dc\n",
+		c.L2.SizeB>>10, c.L2.Ways, c.L2.Latency, c.L3.SizeB>>20, c.L3.Ways, c.L3.Latency, c.MemLatency)
+	return b.String()
+}
+
+// HWCost recomputes the §VIII storage accounting for the default machine.
+func HWCost() hwcost.Breakdown {
+	cfg := pipeline.DefaultConfig()
+	return hwcost.Compute(cfg.ROBPkruSize, cfg.SQSize)
+}
+
+// RenderHWCost prints it with the paper comparison.
+func RenderHWCost(b hwcost.Breakdown) string {
+	cfg := pipeline.DefaultConfig()
+	return fmt.Sprintf("Hardware overhead (paper §VIII)\n%stotal %.1f B = %.2f%% of the %dKB L1D (paper: 93 B, 0.19%%)\n",
+		b, b.TotalBytes(), b.PercentOfL1D(cfg.Caches.L1D.SizeB), cfg.Caches.L1D.SizeB>>10)
+}
+
+func indices[T any](s []T) []int {
+	out := make([]int, len(s))
+	for i := range s {
+		out[i] = i
+	}
+	return out
+}

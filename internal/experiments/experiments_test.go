@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The full-catalogue sweeps run in the benches and cmd/specmpk-bench; the
+// tests here validate each experiment's machinery on a small subset and
+// check the paper-shape properties that must hold.
+
+func smallRunner() Runner {
+	return Runner{Workloads: []string{"520.omnetpp_r", "557.xz_r", "453.povray"}}
+}
+
+func TestFig3ShapeOnSubset(t *testing.T) {
+	rows, err := Fig3(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]Fig3Row{}
+	for _, r := range rows {
+		if r.Speedup < 0.95 {
+			t.Errorf("%s: speculative execution should not slow down (%.3f)", r.Workload, r.Speedup)
+		}
+		byName[r.Workload] = r
+	}
+	hot := byName["520.omnetpp_r (SS)"]
+	cold := byName["557.xz_r (SS)"]
+	if hot.Speedup <= cold.Speedup {
+		t.Errorf("WRPKRU-dense workload must gain more: omnetpp %.3f vs xz %.3f",
+			hot.Speedup, cold.Speedup)
+	}
+	if hot.Speedup < 1.10 {
+		t.Errorf("omnetpp SS speedup %.3f implausibly small", hot.Speedup)
+	}
+	if hot.RenameStallPct <= cold.RenameStallPct {
+		t.Errorf("rename stalls must track WRPKRU density")
+	}
+	out := RenderFig3(rows)
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "average speedup") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFig4ShapeOnSubset(t *testing.T) {
+	rows, err := Fig4(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.TotalOverheadPct < -2 {
+			t.Errorf("%s: negative total overhead %.1f%%", r.Workload, r.TotalOverheadPct)
+		}
+		// Serialization must dominate the compiler transformation for the
+		// dense workload (the Fig. 4 claim).
+		if strings.HasPrefix(r.Workload, "520.omnetpp_r") &&
+			r.SerializeOverhead <= r.CompilerOverheadPct {
+			t.Errorf("%s: serialization (%.1f%%) should dominate compiler (%.1f%%)",
+				r.Workload, r.SerializeOverhead, r.CompilerOverheadPct)
+		}
+	}
+	if out := RenderFig4(rows); !strings.Contains(out, "serialization") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFig9ShapeOnSubset(t *testing.T) {
+	rows, err := Fig9(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SpecMPKNorm < 0.95 {
+			t.Errorf("%s: SpecMPK slower than serialized (%.3f)", r.Workload, r.SpecMPKNorm)
+		}
+		// SpecMPK tracks NonSecure closely for ordinary workloads. Two
+		// documented exceptions (EXPERIMENTS.md): the densest workload
+		// (omnetpp) is ROB_pkru-capacity-bound at the default 8 entries —
+		// that is exactly the Fig. 11 sensitivity, and TestFig11Sensitivity
+		// checks it converges at the faithful 1/24-ratio size — and CPI
+		// workloads pay the intrinsic head-replay cost of protected loads
+		// that execute before their enabling WRPKRU commits (Fig. 7
+		// scenario 2).
+		limit := 0.06
+		if strings.Contains(r.Workload, "omnetpp") || strings.Contains(r.Workload, "CPI") {
+			limit = 0.25
+		}
+		if r.NonSecureNorm-r.SpecMPKNorm > limit {
+			t.Errorf("%s: SpecMPK trails NonSecure by %.3f", r.Workload,
+				r.NonSecureNorm-r.SpecMPKNorm)
+		}
+	}
+	s := Summarize(rows)
+	if s.MaxSpecMPKSpeedupPct < 10 {
+		t.Errorf("max speedup %.1f%% too small for this subset", s.MaxSpecMPKSpeedupPct)
+	}
+	if out := RenderFig9(rows); !strings.Contains(out, "SpecMPK speedup") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFig10Ordering(t *testing.T) {
+	rows, err := Fig10(smallRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := map[string]float64{}
+	for _, r := range rows {
+		density[r.Workload] = r.WrpkruPerKilo
+	}
+	if density["520.omnetpp_r (SS)"] <= density["557.xz_r (SS)"] {
+		t.Fatal("density ordering broken")
+	}
+	if out := RenderFig10(rows); !strings.Contains(out, "wrpkru/kinst") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFig11Sensitivity(t *testing.T) {
+	r := Runner{Workloads: []string{"520.omnetpp_r"}}
+	rows, err := Fig11(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	row := rows[0]
+	// Larger ROB_pkru must not hurt, and the dense workload must lose
+	// performance at 2 entries relative to 8 (the Fig. 11 claim for
+	// omnetpp).
+	if row.Norm[2] > row.Norm[8]+0.01 {
+		t.Errorf("2-entry (%.3f) should not beat 8-entry (%.3f)", row.Norm[2], row.Norm[8])
+	}
+	if row.Norm[8]-row.Norm[2] < 0.01 {
+		t.Errorf("omnetpp must be sensitive to ROB_pkru size: 2=%.3f 8=%.3f",
+			row.Norm[2], row.Norm[8])
+	}
+	// At the faithful 1/24-ratio size (16 entries for AL=352) the densest
+	// workload matches NonSecure, the paper's §VII-1 claim.
+	if row.NonSecureNorm-row.Norm[16] > 0.08 {
+		t.Errorf("omnetpp at 16 entries (%.3f) must approach NonSecure (%.3f)",
+			row.Norm[16], row.NonSecureNorm)
+	}
+	if out := RenderFig11(rows); !strings.Contains(out, "Figure 11") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	res, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NonSecure.Leaked() || res.SpecMPK.Leaked() {
+		t.Fatalf("leak pattern wrong: ns=%v sp=%v", res.NonSecure.Leaked(), res.SpecMPK.Leaked())
+	}
+	out := RenderFig13(res)
+	if !strings.Contains(out, "leak: nonsecure=true specmpk=false") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestTables(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderTable1(rows); !strings.Contains(out, "MPK") {
+		t.Fatalf("table1:\n%s", out)
+	}
+	t2 := Table2()
+	if len(t2) != 3 || t2[1].InstType != "Store" || len(t2[1].NewOperands) != 4 {
+		t.Fatalf("table2: %+v", t2)
+	}
+	if out := RenderTable2(t2); !strings.Contains(out, "WriteDisableCounter") {
+		t.Fatalf("table2 render:\n%s", out)
+	}
+	if out := RenderTable3(); !strings.Contains(out, "352/128/72/160/280") {
+		t.Fatalf("table3 render:\n%s", out)
+	}
+	hc := HWCost()
+	if out := RenderHWCost(hc); !strings.Contains(out, "93.5 B") {
+		t.Fatalf("hwcost render:\n%s", out)
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON emits any experiment's rows as indented JSON wrapped in an
+// envelope naming the experiment — the machine-readable path for plotting
+// scripts (`specmpk-bench -json ...`).
+func WriteJSON(w io.Writer, experiment string, rows any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string `json:"experiment"`
+		Rows       any    `json:"rows"`
+	}{Experiment: experiment, Rows: rows})
+}
+
+// RowsFor runs the named experiment and returns its typed rows (for the
+// JSON path). Render-only entries (table2/table3) return printable structs.
+func RowsFor(r Runner, name string) (any, error) {
+	switch name {
+	case "table1":
+		return Table1()
+	case "table2":
+		return Table2(), nil
+	case "fig3":
+		return Fig3(r)
+	case "fig4":
+		return Fig4(r)
+	case "fig9":
+		return Fig9(r)
+	case "fig10":
+		return Fig10(r)
+	case "fig11":
+		return Fig11(r)
+	case "fig13":
+		res, err := Fig13()
+		if err != nil {
+			return nil, err
+		}
+		return struct {
+			NonSecure []int `json:"nonsecureLatency"`
+			SpecMPK   []int `json:"specmpkLatency"`
+			Threshold int   `json:"threshold"`
+		}{res.NonSecure.Latency[:], res.SpecMPK.Latency[:], res.NonSecure.Threshold}, nil
+	case "hwcost":
+		return HWCost().Items, nil
+	case "vdom":
+		return VDomSweep()
+	case "window":
+		return WindowSweep("")
+	case "pkrusafe":
+		return PKRUSafe()
+	}
+	return nil, fmt.Errorf("experiments: no JSON rows for %q", name)
+}

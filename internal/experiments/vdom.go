@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"specmpk/internal/mem"
+	"specmpk/internal/vdom"
+)
+
+// VDomRow is one point of the key-virtualization sweep: a session server
+// isolating each client session in its own virtual domain (the paper's
+// §III-B OpenSSL scenario, which reports 4.2 % overhead once sessions
+// exceed the 16 hardware keys).
+type VDomRow struct {
+	Domains     int
+	Evictions   uint64
+	PageRetags  uint64
+	OverheadPct float64
+}
+
+// VDomSweep simulates a server handling requests over N sessions with a
+// hot-set access pattern (90 % of requests hit 8 hot sessions), for N from
+// well under to well over the hardware key budget. Overhead is the
+// virtualization cost relative to the useful per-request work.
+func VDomSweep() ([]VDomRow, error) {
+	const (
+		requests     = 4000
+		hotSessions  = 8
+		hotShareDen  = 10 // 9 of 10 requests hit the hot set
+		workPerReq   = 3000
+		pagesPerSess = 2
+	)
+	var rows []VDomRow
+	for _, n := range []int{8, 14, 24, 48, 96} {
+		as := mem.NewAddressSpace()
+		m, err := vdom.New(as)
+		if err != nil {
+			return nil, err
+		}
+		doms := make([]*vdom.Domain, n)
+		for i := range doms {
+			base := uint64(0x40000000 + i*0x10000)
+			as.Map(base, pagesPerSess*mem.PageSize, mem.ProtRW)
+			doms[i] = m.CreateDomain()
+			if err := m.Attach(doms[i], base, pagesPerSess*mem.PageSize, mem.ProtRW); err != nil {
+				return nil, err
+			}
+		}
+		// Deterministic request stream with a hot set.
+		seed := uint64(42)
+		next := func(mod int) int {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return int(seed>>33) % mod
+		}
+		hot := hotSessions
+		if n < hot {
+			hot = n
+		}
+		for r := 0; r < requests; r++ {
+			var d *vdom.Domain
+			if next(hotShareDen) != 0 {
+				d = doms[next(hot)]
+			} else {
+				d = doms[next(n)]
+			}
+			if _, err := m.Bind(d); err != nil {
+				return nil, err
+			}
+		}
+		cost := vdom.DefaultCost().Cycles(m.Stats)
+		rows = append(rows, VDomRow{
+			Domains:     n,
+			Evictions:   m.Stats.Evictions,
+			PageRetags:  m.Stats.PageRetags,
+			OverheadPct: 100 * float64(cost) / float64(requests*workPerReq),
+		})
+	}
+	return rows, nil
+}
+
+// RenderVDom prints the sweep with the paper's reference point.
+func RenderVDom(rows []VDomRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Key virtualization (libmpk/VDom-style, extension): overhead vs session count\n")
+	fmt.Fprintf(&b, "%-10s %11s %12s %10s\n", "sessions", "evictions", "page-retags", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %11d %12d %9.2f%%\n", r.Domains, r.Evictions, r.PageRetags, r.OverheadPct)
+	}
+	b.WriteString("paper §III-B: isolating OpenSSL session keys needs >16 pKeys and the\n")
+	b.WriteString("resulting remapping costs ~4.2% — the same cliff appears past 14 domains\n")
+	b.WriteString("(14 = 16 keys minus the default key and the reserved evicted key).\n")
+	return b.String()
+}

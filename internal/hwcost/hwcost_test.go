@@ -1,0 +1,72 @@
+package hwcost
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperNumber checks the §VIII claim: the Table III configuration
+// (ROB_pkru = 8, SQ = 72) needs ~93 B of sequential state, ≈0.19 % of a
+// 48 KB L1D.
+func TestPaperNumber(t *testing.T) {
+	b := Compute(8, 72)
+	bytes := b.TotalBytes()
+	if bytes < 92 || bytes > 95 {
+		t.Fatalf("total = %.1f B, paper says ~93 B\n%s", bytes, b)
+	}
+	pct := b.PercentOfL1D(48 << 10)
+	if pct < 0.18 || pct > 0.20 {
+		t.Fatalf("L1D fraction = %.3f%%, paper says ~0.19%%", pct)
+	}
+}
+
+func TestComposition(t *testing.T) {
+	b := Compute(8, 72)
+	want := map[string]int{
+		"ROB_pkru":             8 * 64,
+		"ARF_pkru":             32,
+		"RMT_pkru":             4,
+		"AccessDisableCounter": 16 * 4,
+		"WriteDisableCounter":  16 * 4,
+		"SQ no-forward flags":  72,
+	}
+	if len(b.Items) != len(want) {
+		t.Fatalf("%d items", len(b.Items))
+	}
+	for _, it := range b.Items {
+		if want[it.Name] != it.Bits {
+			t.Errorf("%s = %d bits, want %d", it.Name, it.Bits, want[it.Name])
+		}
+	}
+}
+
+func TestScalesWithROBPkru(t *testing.T) {
+	small := Compute(2, 72).TotalBits()
+	big := Compute(8, 72).TotalBits()
+	if small >= big {
+		t.Fatal("larger ROB_pkru must cost more")
+	}
+	// Counter width: 2 entries -> floor(log2(2))+1 = 2 bits.
+	b := Compute(2, 72)
+	for _, it := range b.Items {
+		if it.Name == "AccessDisableCounter" && it.Bits != 16*2 {
+			t.Fatalf("counter bits = %d", it.Bits)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := Compute(8, 72).String()
+	if !strings.Contains(s, "ROB_pkru") || !strings.Contains(s, "93.5 B") {
+		t.Fatalf("rendering:\n%s", s)
+	}
+}
+
+func TestBadSizesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Compute(0, 72)
+}

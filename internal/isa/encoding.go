@@ -1,0 +1,90 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encoding layout (little-endian), 16 bytes per instruction:
+//
+//	byte 0      opcode
+//	byte 1      rd
+//	byte 2      rs1
+//	byte 3      rs2
+//	bytes 4-7   reserved (must be zero; gives decode a cheap integrity check)
+//	bytes 8-15  imm (int64)
+
+// ErrBadEncoding is wrapped by decode errors.
+type ErrBadEncoding struct {
+	Off    int
+	Reason string
+}
+
+func (e *ErrBadEncoding) Error() string {
+	return fmt.Sprintf("isa: bad encoding at offset %d: %s", e.Off, e.Reason)
+}
+
+// Encode writes the 16-byte encoding of in into dst.
+// It panics if dst is shorter than InstBytes.
+func Encode(dst []byte, in Inst) {
+	_ = dst[InstBytes-1]
+	dst[0] = byte(in.Op)
+	dst[1] = in.Rd
+	dst[2] = in.Rs1
+	dst[3] = in.Rs2
+	binary.LittleEndian.PutUint32(dst[4:8], 0)
+	binary.LittleEndian.PutUint64(dst[8:16], uint64(in.Imm))
+}
+
+// Decode parses one instruction from src.
+func Decode(src []byte) (Inst, error) {
+	if len(src) < InstBytes {
+		return Inst{}, &ErrBadEncoding{Reason: "short buffer"}
+	}
+	op := Op(src[0])
+	if !op.Valid() {
+		return Inst{}, &ErrBadEncoding{Reason: fmt.Sprintf("invalid opcode %d", src[0])}
+	}
+	if binary.LittleEndian.Uint32(src[4:8]) != 0 {
+		return Inst{}, &ErrBadEncoding{Off: 4, Reason: "reserved bytes nonzero"}
+	}
+	in := Inst{
+		Op:  op,
+		Rd:  src[1],
+		Rs1: src[2],
+		Rs2: src[3],
+		Imm: int64(binary.LittleEndian.Uint64(src[8:16])),
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return Inst{}, &ErrBadEncoding{Off: 1, Reason: "register out of range"}
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes a full instruction sequence.
+func EncodeProgram(insts []Inst) []byte {
+	out := make([]byte, len(insts)*InstBytes)
+	for i, in := range insts {
+		Encode(out[i*InstBytes:], in)
+	}
+	return out
+}
+
+// DecodeProgram decodes a byte image produced by EncodeProgram.
+func DecodeProgram(image []byte) ([]Inst, error) {
+	if len(image)%InstBytes != 0 {
+		return nil, &ErrBadEncoding{Reason: "image not a multiple of instruction size"}
+	}
+	out := make([]Inst, len(image)/InstBytes)
+	for i := range out {
+		in, err := Decode(image[i*InstBytes:])
+		if err != nil {
+			if be, ok := err.(*ErrBadEncoding); ok {
+				be.Off += i * InstBytes
+			}
+			return nil, err
+		}
+		out[i] = in
+	}
+	return out, nil
+}

@@ -1,0 +1,29 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks the decoder never panics and that every successfully
+// decoded instruction re-encodes to the identical byte image.
+func FuzzDecode(f *testing.F) {
+	var seed [InstBytes]byte
+	Encode(seed[:], Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3})
+	f.Add(seed[:])
+	Encode(seed[:], Inst{Op: OpWrpkru, Rs1: 26})
+	f.Add(seed[:])
+	f.Add([]byte{255, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Decode(data)
+		if err != nil {
+			return
+		}
+		var out [InstBytes]byte
+		Encode(out[:], in)
+		if !bytes.Equal(out[:], data[:InstBytes]) {
+			t.Fatalf("decode/encode mismatch: %x vs %x", out, data[:InstBytes])
+		}
+		_ = in.String() // must never panic
+	})
+}

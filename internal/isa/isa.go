@@ -1,0 +1,278 @@
+// Package isa defines the instruction set used throughout the SpecMPK
+// reproduction: a small 64-bit RISC-style ISA extended with the MPK
+// permission-update instructions WRPKRU and RDPKRU.
+//
+// The real MPK extension lives on x86-64 where WRPKRU copies the implicit
+// EAX register into PKRU. Our ISA makes the source register explicit
+// (WRPKRU rs1); the serialization/speculation semantics studied by the paper
+// are unchanged by this difference, and it keeps the renaming story in the
+// simulator honest (PKRU is still an implicit destination).
+package isa
+
+import "fmt"
+
+// Op enumerates every opcode in the ISA.
+type Op uint8
+
+const (
+	// OpNop does nothing. Also used as the WRPKRU stub when measuring
+	// compiler-transformation overhead (Fig. 4 methodology).
+	OpNop Op = iota
+	// OpHalt stops the machine; the program's exit point.
+	OpHalt
+
+	// Register-register ALU operations: rd = rs1 <op> rs2.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpMul
+	OpDiv
+
+	// Register-immediate ALU operations: rd = rs1 <op> imm.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+
+	// OpMovi loads a 64-bit immediate: rd = imm.
+	OpMovi
+
+	// OpLd loads 8 bytes: rd = mem[rs1+imm].
+	OpLd
+	// OpSt stores 8 bytes: mem[rs1+imm] = rs2.
+	OpSt
+	// OpLb loads 1 byte zero-extended: rd = mem8[rs1+imm].
+	OpLb
+	// OpSb stores 1 byte: mem8[rs1+imm] = rs2.
+	OpSb
+
+	// Conditional branches to the absolute byte address in Imm.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+
+	// OpJal jumps to the absolute address Imm, writing the return address
+	// (pc+InstBytes) to rd. rd = RegZero makes it a plain jump.
+	OpJal
+	// OpJalr jumps to rs1+imm, writing the return address to rd. With
+	// rd = RegZero and rs1 = RegRA it is a function return.
+	OpJalr
+
+	// OpWrpkru copies rs1's low 32 bits into the PKRU register. Serializing
+	// on the baseline microarchitecture; speculative under SpecMPK.
+	OpWrpkru
+	// OpRdpkru copies PKRU into rd. Serialized in all modes (paper §V-C6).
+	OpRdpkru
+
+	// OpClflush evicts the line containing rs1+imm from all cache levels.
+	// Used by the flush+reload attack harness.
+	OpClflush
+	// OpRdcycle reads the current cycle counter into rd, letting attack
+	// code time its own loads like rdtsc.
+	OpRdcycle
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// InstBytes is the size of one encoded instruction in instruction memory.
+// Program counters advance in units of InstBytes.
+const InstBytes = 16
+
+// NumRegs is the number of architectural general-purpose registers.
+// Register 0 is hardwired to zero.
+const NumRegs = 32
+
+// Conventional register assignments used by the assembler and the workload
+// generator.
+const (
+	RegZero = 0 // always zero
+	RegRA   = 1 // return address (link register)
+	RegSP   = 2 // stack pointer
+	RegSSP  = 3 // shadow-stack pointer (the paper's R15 analogue)
+	RegGP   = 4 // global/data pointer
+	RegA0   = 5 // first argument / return value
+	RegA1   = 6
+	RegA2   = 7
+	RegA3   = 8
+	RegT0   = 9 // temporaries T0..T9 are r9..r18
+	RegS0   = 19
+)
+
+// Inst is one decoded instruction. Branch and Jal targets are absolute byte
+// addresses in Imm (the assembler resolves labels before emission).
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int64
+}
+
+var opNames = [NumOps]string{
+	OpNop: "nop", OpHalt: "halt",
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpMul: "mul", OpDiv: "div",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpShli: "shli", OpShri: "shri", OpMovi: "movi",
+	OpLd: "ld", OpSt: "st", OpLb: "lb", OpSb: "sb",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJal: "jal", OpJalr: "jalr",
+	OpWrpkru: "wrpkru", OpRdpkru: "rdpkru",
+	OpClflush: "clflush", OpRdcycle: "rdcycle",
+}
+
+// Name returns the mnemonic for op, or "op<N>" for undefined values.
+func (o Op) Name() string {
+	if int(o) < NumOps && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// OpByName maps a mnemonic back to its opcode. ok is false for unknown names.
+func OpByName(name string) (Op, bool) {
+	for i := 0; i < NumOps; i++ {
+		if opNames[i] == name {
+			return Op(i), true
+		}
+	}
+	return OpNop, false
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return int(o) < NumOps }
+
+// IsLoad reports whether o reads data memory.
+func (o Op) IsLoad() bool { return o == OpLd || o == OpLb }
+
+// IsStore reports whether o writes data memory.
+func (o Op) IsStore() bool { return o == OpSt || o == OpSb }
+
+// IsMem reports whether o accesses data memory.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// MemBytes returns the access width of a memory op (0 for non-memory ops).
+func (o Op) MemBytes() int {
+	switch o {
+	case OpLd, OpSt:
+		return 8
+	case OpLb, OpSb:
+		return 1
+	}
+	return 0
+}
+
+// IsCondBranch reports whether o is a conditional branch.
+func (o Op) IsCondBranch() bool {
+	return o == OpBeq || o == OpBne || o == OpBlt || o == OpBge
+}
+
+// IsControl reports whether o can redirect the program counter.
+func (o Op) IsControl() bool {
+	return o.IsCondBranch() || o == OpJal || o == OpJalr
+}
+
+// IsALU reports whether o is executed on an ALU (including Movi and Rdcycle,
+// which occupy an ALU slot for one cycle).
+func (o Op) IsALU() bool {
+	switch o {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpDiv,
+		OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpMovi, OpRdcycle:
+		return true
+	}
+	return false
+}
+
+// WritesReg reports whether the instruction architecturally writes Rd.
+// Writes to RegZero are discarded but still allocate a rename in the
+// pipeline for simplicity; callers that care use this predicate on the
+// instruction, not just the opcode.
+func (i Inst) WritesReg() bool {
+	if i.Rd == RegZero {
+		return false
+	}
+	switch {
+	case i.Op.IsALU(), i.Op.IsLoad():
+		return true
+	case i.Op == OpJal, i.Op == OpJalr, i.Op == OpRdpkru:
+		return true
+	}
+	return false
+}
+
+// ReadsRs1 reports whether the instruction reads Rs1.
+func (i Inst) ReadsRs1() bool {
+	switch i.Op {
+	case OpNop, OpHalt, OpMovi, OpJal, OpRdpkru, OpRdcycle:
+		return false
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpDiv,
+		OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri,
+		OpLd, OpSt, OpLb, OpSb, OpBeq, OpBne, OpBlt, OpBge,
+		OpJalr, OpWrpkru, OpClflush:
+		return true
+	}
+	return false
+}
+
+// ReadsRs2 reports whether the instruction reads Rs2.
+func (i Inst) ReadsRs2() bool {
+	switch i.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpDiv,
+		OpSt, OpSb, OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction is a call (a jump that links).
+func (i Inst) IsCall() bool {
+	return (i.Op == OpJal || i.Op == OpJalr) && i.Rd != RegZero
+}
+
+// IsReturn reports whether the instruction is a function return
+// (indirect jump through the link register without linking).
+func (i Inst) IsReturn() bool {
+	return i.Op == OpJalr && i.Rd == RegZero && i.Rs1 == RegRA
+}
+
+// String renders the instruction in assembly syntax.
+func (i Inst) String() string {
+	n := i.Op.Name()
+	switch i.Op {
+	case OpNop, OpHalt:
+		return n
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpDiv:
+		return fmt.Sprintf("%s r%d, r%d, r%d", n, i.Rd, i.Rs1, i.Rs2)
+	case OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri:
+		return fmt.Sprintf("%s r%d, r%d, %d", n, i.Rd, i.Rs1, i.Imm)
+	case OpMovi:
+		return fmt.Sprintf("%s r%d, %d", n, i.Rd, i.Imm)
+	case OpLd, OpLb:
+		return fmt.Sprintf("%s r%d, %d(r%d)", n, i.Rd, i.Imm, i.Rs1)
+	case OpSt, OpSb:
+		return fmt.Sprintf("%s r%d, %d(r%d)", n, i.Rs2, i.Imm, i.Rs1)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s r%d, r%d, 0x%x", n, i.Rs1, i.Rs2, uint64(i.Imm))
+	case OpJal:
+		return fmt.Sprintf("%s r%d, 0x%x", n, i.Rd, uint64(i.Imm))
+	case OpJalr:
+		return fmt.Sprintf("%s r%d, %d(r%d)", n, i.Rd, i.Imm, i.Rs1)
+	case OpWrpkru:
+		return fmt.Sprintf("%s r%d", n, i.Rs1)
+	case OpRdpkru, OpRdcycle:
+		return fmt.Sprintf("%s r%d", n, i.Rd)
+	case OpClflush:
+		return fmt.Sprintf("%s %d(r%d)", n, i.Imm, i.Rs1)
+	}
+	return fmt.Sprintf("%s r%d, r%d, r%d, %d", n, i.Rd, i.Rs1, i.Rs2, i.Imm)
+}

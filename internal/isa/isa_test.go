@@ -1,0 +1,266 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for i := 0; i < NumOps; i++ {
+		op := Op(i)
+		got, ok := OpByName(op.Name())
+		if !ok {
+			t.Fatalf("OpByName(%q) not found", op.Name())
+		}
+		if got != op {
+			t.Fatalf("OpByName(%q) = %v, want %v", op.Name(), got, op)
+		}
+	}
+}
+
+func TestOpByNameUnknown(t *testing.T) {
+	if _, ok := OpByName("bogus"); ok {
+		t.Fatal("OpByName accepted unknown mnemonic")
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if !OpWrpkru.Valid() {
+		t.Fatal("wrpkru should be valid")
+	}
+	if Op(200).Valid() {
+		t.Fatal("op 200 should be invalid")
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	cases := []struct {
+		op                         Op
+		load, store, cond, control bool
+	}{
+		{OpLd, true, false, false, false},
+		{OpLb, true, false, false, false},
+		{OpSt, false, true, false, false},
+		{OpSb, false, true, false, false},
+		{OpBeq, false, false, true, true},
+		{OpBge, false, false, true, true},
+		{OpJal, false, false, false, true},
+		{OpJalr, false, false, false, true},
+		{OpAdd, false, false, false, false},
+		{OpWrpkru, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsLoad() != c.load {
+			t.Errorf("%v IsLoad = %v", c.op, c.op.IsLoad())
+		}
+		if c.op.IsStore() != c.store {
+			t.Errorf("%v IsStore = %v", c.op, c.op.IsStore())
+		}
+		if c.op.IsMem() != (c.load || c.store) {
+			t.Errorf("%v IsMem = %v", c.op, c.op.IsMem())
+		}
+		if c.op.IsCondBranch() != c.cond {
+			t.Errorf("%v IsCondBranch = %v", c.op, c.op.IsCondBranch())
+		}
+		if c.op.IsControl() != c.control {
+			t.Errorf("%v IsControl = %v", c.op, c.op.IsControl())
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	if OpLd.MemBytes() != 8 || OpSt.MemBytes() != 8 {
+		t.Fatal("word ops must be 8 bytes")
+	}
+	if OpLb.MemBytes() != 1 || OpSb.MemBytes() != 1 {
+		t.Fatal("byte ops must be 1 byte")
+	}
+	if OpAdd.MemBytes() != 0 {
+		t.Fatal("non-memory op must report 0")
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	if !(Inst{Op: OpAdd, Rd: 5}).WritesReg() {
+		t.Fatal("add writes rd")
+	}
+	if (Inst{Op: OpAdd, Rd: RegZero}).WritesReg() {
+		t.Fatal("write to r0 is discarded")
+	}
+	if (Inst{Op: OpSt, Rd: 5}).WritesReg() {
+		t.Fatal("store writes no register")
+	}
+	if !(Inst{Op: OpRdpkru, Rd: 5}).WritesReg() {
+		t.Fatal("rdpkru writes rd")
+	}
+	if !(Inst{Op: OpJal, Rd: RegRA}).WritesReg() {
+		t.Fatal("call writes link register")
+	}
+	if (Inst{Op: OpBeq, Rd: 7}).WritesReg() {
+		t.Fatal("branch writes no register")
+	}
+}
+
+func TestReadsOperands(t *testing.T) {
+	if !(Inst{Op: OpWrpkru, Rs1: 4}).ReadsRs1() {
+		t.Fatal("wrpkru reads rs1")
+	}
+	if (Inst{Op: OpWrpkru}).ReadsRs2() {
+		t.Fatal("wrpkru does not read rs2")
+	}
+	if (Inst{Op: OpMovi}).ReadsRs1() {
+		t.Fatal("movi reads no sources")
+	}
+	if !(Inst{Op: OpSt}).ReadsRs2() {
+		t.Fatal("store reads data from rs2")
+	}
+	if !(Inst{Op: OpBeq}).ReadsRs1() || !(Inst{Op: OpBeq}).ReadsRs2() {
+		t.Fatal("branch reads both sources")
+	}
+	if (Inst{Op: OpJal}).ReadsRs1() {
+		t.Fatal("jal reads no register source")
+	}
+	if !(Inst{Op: OpJalr}).ReadsRs1() {
+		t.Fatal("jalr reads rs1")
+	}
+}
+
+func TestCallReturnPredicates(t *testing.T) {
+	call := Inst{Op: OpJal, Rd: RegRA, Imm: 0x10000}
+	if !call.IsCall() {
+		t.Fatal("jal ra is a call")
+	}
+	jump := Inst{Op: OpJal, Rd: RegZero, Imm: 0x10000}
+	if jump.IsCall() {
+		t.Fatal("jal r0 is a plain jump")
+	}
+	ret := Inst{Op: OpJalr, Rd: RegZero, Rs1: RegRA}
+	if !ret.IsReturn() {
+		t.Fatal("jalr r0, (ra) is a return")
+	}
+	icall := Inst{Op: OpJalr, Rd: RegRA, Rs1: RegT0}
+	if !icall.IsCall() || icall.IsReturn() {
+		t.Fatal("jalr ra, (t0) is an indirect call")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpNop}, "nop"},
+		{Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -8}, "addi r1, r2, -8"},
+		{Inst{Op: OpMovi, Rd: 9, Imm: 42}, "movi r9, 42"},
+		{Inst{Op: OpLd, Rd: 9, Rs1: 2, Imm: 16}, "ld r9, 16(r2)"},
+		{Inst{Op: OpSt, Rs1: 2, Rs2: 9, Imm: 16}, "st r9, 16(r2)"},
+		{Inst{Op: OpWrpkru, Rs1: 5}, "wrpkru r5"},
+		{Inst{Op: OpRdpkru, Rd: 5}, "rdpkru r5"},
+		{Inst{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 0x100}, "beq r1, r2, 0x100"},
+		{Inst{Op: OpJal, Rd: 1, Imm: 0x200}, "jal r1, 0x200"},
+		{Inst{Op: OpClflush, Rs1: 4, Imm: 64}, "clflush 64(r4)"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func randInst(r *rand.Rand) Inst {
+	return Inst{
+		Op:  Op(r.Intn(NumOps)),
+		Rd:  uint8(r.Intn(NumRegs)),
+		Rs1: uint8(r.Intn(NumRegs)),
+		Rs2: uint8(r.Intn(NumRegs)),
+		Imm: r.Int63() - r.Int63(),
+	}
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInst(r)
+		var buf [InstBytes]byte
+		Encode(buf[:], in)
+		out, err := Decode(buf[:])
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	var buf [InstBytes]byte
+	buf[0] = 250
+	if _, err := Decode(buf[:]); err == nil {
+		t.Fatal("expected error for invalid opcode")
+	} else if !strings.Contains(err.Error(), "invalid opcode") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDecodeRejectsBadRegister(t *testing.T) {
+	var buf [InstBytes]byte
+	Encode(buf[:], Inst{Op: OpAdd})
+	buf[2] = NumRegs
+	if _, err := Decode(buf[:]); err == nil {
+		t.Fatal("expected error for out-of-range register")
+	}
+}
+
+func TestDecodeRejectsReservedBytes(t *testing.T) {
+	var buf [InstBytes]byte
+	Encode(buf[:], Inst{Op: OpAdd})
+	buf[5] = 1
+	if _, err := Decode(buf[:]); err == nil {
+		t.Fatal("expected error for nonzero reserved bytes")
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, err := Decode(make([]byte, 3)); err == nil {
+		t.Fatal("expected error for short buffer")
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	prog := make([]Inst, 257)
+	for i := range prog {
+		prog[i] = randInst(r)
+	}
+	img := EncodeProgram(prog)
+	if len(img) != len(prog)*InstBytes {
+		t.Fatalf("image size %d", len(img))
+	}
+	got, err := DecodeProgram(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Fatalf("inst %d mismatch: %v vs %v", i, got[i], prog[i])
+		}
+	}
+}
+
+func TestDecodeProgramErrors(t *testing.T) {
+	if _, err := DecodeProgram(make([]byte, 5)); err == nil {
+		t.Fatal("expected error for ragged image")
+	}
+	img := EncodeProgram([]Inst{{Op: OpNop}, {Op: OpAdd}})
+	img[InstBytes] = 251 // corrupt second instruction opcode
+	_, err := DecodeProgram(img)
+	be, ok := err.(*ErrBadEncoding)
+	if !ok {
+		t.Fatalf("want *ErrBadEncoding, got %v", err)
+	}
+	if be.Off < InstBytes {
+		t.Fatalf("error offset %d should point into second instruction", be.Off)
+	}
+}

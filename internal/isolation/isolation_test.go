@@ -1,0 +1,109 @@
+package isolation
+
+import (
+	"testing"
+
+	"specmpk/internal/pipeline"
+)
+
+// TestTableIShape checks every row against the paper's Table I.
+func TestTableIShape(t *testing.T) {
+	rows, err := Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][3]bool{ // fast, secure, least-privilege
+		"MPK":      {true, true, true},
+		"Mprotect": {false, true, true},
+		"MPX":      {true, false, true},
+		"ASLR":     {true, false, true},
+		"IMIX":     {true, true, false},
+		"SEIMI":    {true, true, false},
+		"SFI":      {true, false, true},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		w, ok := want[r.Name]
+		if !ok {
+			t.Fatalf("unexpected row %q", r.Name)
+		}
+		if r.FastInterleaved != w[0] || r.Secure != w[1] || r.LeastPrivilege != w[2] {
+			t.Errorf("%s: got fast=%v secure=%v lp=%v, want %v", r.Name,
+				r.FastInterleaved, r.Secure, r.LeastPrivilege, w)
+		}
+	}
+}
+
+func TestMPKSwitchMeasured(t *testing.T) {
+	cost, err := measureMPKSwitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 || cost >= fastThreshold {
+		t.Fatalf("MPK switch cost %.1f cycles out of expected band", cost)
+	}
+}
+
+func TestMprotectCostDominatedBySyscalls(t *testing.T) {
+	r := evalMprotect()
+	if r.SwitchCycles < 2*syscallCycles {
+		t.Fatalf("mprotect switch cost %.0f should include two syscalls", r.SwitchCycles)
+	}
+	if r.FastInterleaved {
+		t.Fatal("mprotect must not be fast")
+	}
+}
+
+func TestMPXBypassOnEveryMicroarchitecture(t *testing.T) {
+	// The bounds check is a branch; even SpecMPK cannot protect a page
+	// that carries no protection key. The bypass must appear on all three
+	// microarchitectures.
+	for _, mode := range []pipeline.Mode{pipeline.ModeSerialized, pipeline.ModeNonSecure, pipeline.ModeSpecMPK} {
+		leaked, err := branchGuardLeaks(mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !leaked {
+			t.Errorf("%v: bounds-check bypass did not fire", mode)
+		}
+	}
+}
+
+func TestSpeculativeProbingFindsLayoutWithoutCrash(t *testing.T) {
+	found, crashed, err := speculativeProbe(pipeline.ModeSerialized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed {
+		t.Fatal("speculative probing must never fault architecturally")
+	}
+	if !found {
+		t.Fatal("the hidden region must be discoverable")
+	}
+}
+
+// TestSpecMPKDefeatsColdTLBProbing documents a pleasant side effect of the
+// paper's §V-C5 rule: because SpecMPK stalls any load that misses the TLB
+// until retirement, a cold-TLB speculative probe never dereferences its
+// candidate and the layout stays hidden.
+func TestSpecMPKDefeatsColdTLBProbing(t *testing.T) {
+	found, crashed, err := speculativeProbe(pipeline.ModeSpecMPK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed {
+		t.Fatal("probe must not crash")
+	}
+	if found {
+		t.Fatal("SpecMPK's TLB-miss deferral should block the cold probe")
+	}
+}
+
+func TestMPKLeastPrivilege(t *testing.T) {
+	ok, err := mpkLeastPrivilege()
+	if err != nil || !ok {
+		t.Fatalf("least-privilege check: %v %v", ok, err)
+	}
+}

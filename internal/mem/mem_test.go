@@ -1,0 +1,290 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"specmpk/internal/mpk"
+)
+
+func TestPhysReadWriteRoundTrip(t *testing.T) {
+	m := NewPhysMem()
+	m.Write64(0x1000, 0xdeadbeefcafef00d)
+	if got := m.Read64(0x1000); got != 0xdeadbeefcafef00d {
+		t.Fatalf("Read64 = %x", got)
+	}
+	m.Write8(0x1008, 0x7f)
+	if got := m.Read8(0x1008); got != 0x7f {
+		t.Fatalf("Read8 = %x", got)
+	}
+}
+
+func TestPhysUnallocatedReadsZero(t *testing.T) {
+	m := NewPhysMem()
+	if m.Read64(0x99000) != 0 || m.Read8(0x99001) != 0 {
+		t.Fatal("unallocated memory must read zero")
+	}
+	if m.FrameCount() != 0 {
+		t.Fatal("reads must not allocate frames")
+	}
+}
+
+func TestPhysCrossPageWord(t *testing.T) {
+	m := NewPhysMem()
+	addr := uint64(2*PageSize - 4) // straddles a page boundary
+	m.Write64(addr, 0x1122334455667788)
+	if got := m.Read64(addr); got != 0x1122334455667788 {
+		t.Fatalf("cross-page Read64 = %x", got)
+	}
+}
+
+func TestPhysBytes(t *testing.T) {
+	m := NewPhysMem()
+	data := []byte{1, 2, 3, 4, 5}
+	m.WriteBytes(PageSize-2, data) // crosses boundary
+	got := m.ReadBytes(PageSize-2, 5)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d", i, got[i])
+		}
+	}
+}
+
+func TestPhysQuickWordRoundTrip(t *testing.T) {
+	m := NewPhysMem()
+	f := func(addr uint64, v uint64) bool {
+		addr %= 1 << 30
+		m.Write64(addr, v)
+		return m.Read64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapTranslate(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, 2*PageSize, ProtRW)
+	paddr, pte, err := as.Translate(0x10008, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pte.Valid || pte.PKey != 0 {
+		t.Fatalf("bad pte %+v", pte)
+	}
+	if paddr&(PageSize-1) != 8 {
+		t.Fatalf("offset not preserved: %x", paddr)
+	}
+	// Distinct pages must map to distinct frames.
+	p2, _, err := as.Translate(0x11000, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2>>PageBits == paddr>>PageBits {
+		t.Fatal("pages share a frame")
+	}
+}
+
+func TestTranslateFaults(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, PageSize, ProtRead)
+
+	_, _, err := as.Translate(0x20000, Read)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultPage {
+		t.Fatalf("want page fault, got %v", err)
+	}
+
+	_, _, err = as.Translate(0x10000, Write)
+	if !errors.As(err, &f) || f.Kind != FaultProt || f.Access != Write {
+		t.Fatalf("want protection fault, got %v", err)
+	}
+
+	_, _, err = as.Translate(0x10000, Exec)
+	if !errors.As(err, &f) || f.Kind != FaultProt {
+		t.Fatalf("want protection fault on exec, got %v", err)
+	}
+}
+
+func TestAccessEnforcesPKRU(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, PageSize, ProtRW)
+	key, err := as.PkeyAlloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.PkeyMprotect(0x10000, PageSize, ProtRW, key); err != nil {
+		t.Fatal(err)
+	}
+
+	// AD set: both kinds fault with a pkey fault identifying the key.
+	pkru := mpk.AllowAll.WithKey(key, mpk.Perm{AD: true})
+	_, _, err = as.Access(0x10000, Read, pkru)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultPkey || f.PKey != key {
+		t.Fatalf("want pkey fault for key %d, got %v", key, err)
+	}
+
+	// WD only: reads pass, writes fault.
+	pkru = mpk.AllowAll.WithKey(key, mpk.Perm{WD: true})
+	if _, _, err := as.Access(0x10000, Read, pkru); err != nil {
+		t.Fatalf("read under WD should pass: %v", err)
+	}
+	if _, _, err := as.Access(0x10000, Write, pkru); err == nil {
+		t.Fatal("write under WD must fault")
+	}
+
+	// Most-strict rule: PKRU allows but PTE forbids write.
+	if err := as.PkeyMprotect(0x10000, PageSize, ProtRead, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := as.Access(0x10000, Write, mpk.AllowAll); err == nil {
+		t.Fatal("PTE read-only must win over permissive PKRU")
+	}
+}
+
+func TestExecNotSubjectToPKRU(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, PageSize, ProtRX)
+	key, _ := as.PkeyAlloc()
+	if err := as.PkeyMprotect(0x10000, PageSize, ProtRX, key); err != nil {
+		t.Fatal(err)
+	}
+	pkru := mpk.AllowAll.WithKey(key, mpk.Perm{AD: true})
+	if _, _, err := as.Access(0x10000, Exec, pkru); err != nil {
+		t.Fatalf("exec must ignore PKRU: %v", err)
+	}
+}
+
+func TestPkeyAllocExhaustion(t *testing.T) {
+	as := NewAddressSpace()
+	got := map[int]bool{}
+	for i := 0; i < mpk.NumKeys-1; i++ {
+		k, err := as.PkeyAlloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if k == 0 || got[k] {
+			t.Fatalf("bad key %d", k)
+		}
+		got[k] = true
+	}
+	if _, err := as.PkeyAlloc(); err == nil {
+		t.Fatal("17th alloc should fail")
+	}
+	if err := as.PkeyFree(3); err != nil {
+		t.Fatal(err)
+	}
+	if k, err := as.PkeyAlloc(); err != nil || k != 3 {
+		t.Fatalf("re-alloc after free = %d, %v", k, err)
+	}
+	if err := as.PkeyFree(0); err == nil {
+		t.Fatal("key 0 must not be freeable")
+	}
+}
+
+func TestPkeyMprotectValidation(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, PageSize, ProtRW)
+	if err := as.PkeyMprotect(0x10000, PageSize, ProtRW, 5); err == nil {
+		t.Fatal("unallocated key must be rejected")
+	}
+	if err := as.PkeyMprotect(0x10000, PageSize, ProtRW, 99); err == nil {
+		t.Fatal("out-of-range key must be rejected")
+	}
+	k, _ := as.PkeyAlloc()
+	if err := as.PkeyMprotect(0x10001, PageSize, ProtRW, k); err == nil {
+		t.Fatal("unaligned address must be rejected")
+	}
+	// Partially unmapped range: all-or-nothing.
+	if err := as.PkeyMprotect(0x10000, 2*PageSize, ProtRW, k); err == nil {
+		t.Fatal("range touching unmapped page must fail")
+	}
+	pte, _ := as.Lookup(0x10000)
+	if pte.PKey != 0 {
+		t.Fatal("failed pkey_mprotect must not partially apply")
+	}
+}
+
+func TestMprotect(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, PageSize, ProtRW)
+	if err := as.Mprotect(0x10000, PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := as.Access(0x10000, Write, mpk.AllowAll); err == nil {
+		t.Fatal("write after mprotect(R) must fault")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, 2*PageSize, ProtRW)
+	as.Unmap(0x10000, PageSize)
+	if _, _, err := as.Translate(0x10000, Read); err == nil {
+		t.Fatal("unmapped page must fault")
+	}
+	if _, _, err := as.Translate(0x11000, Read); err != nil {
+		t.Fatal("second page must survive")
+	}
+	if as.PageCount() != 1 {
+		t.Fatalf("PageCount = %d", as.PageCount())
+	}
+}
+
+func TestVirtHelpers(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, 2*PageSize, ProtRW)
+	if err := as.WriteVirt64(0x10010, 77); err != nil {
+		t.Fatal(err)
+	}
+	v, err := as.ReadVirt64(0x10010)
+	if err != nil || v != 77 {
+		t.Fatalf("ReadVirt64 = %d, %v", v, err)
+	}
+	blob := make([]byte, PageSize+100) // spans both pages
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	if err := as.WriteVirtBytes(0x10f00, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadVirtBytes(0x10f00, len(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blob {
+		if got[i] != blob[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	if _, err := as.ReadVirtBytes(0x50000, 8); err == nil {
+		t.Fatal("unmapped read must fail")
+	}
+	if err := as.WriteVirtBytes(0x50000, []byte{1}); err == nil {
+		t.Fatal("unmapped write must fail")
+	}
+}
+
+func TestMapUnaligned(t *testing.T) {
+	as := NewAddressSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned Map must panic")
+		}
+	}()
+	as.Map(0x10001, PageSize, ProtRW)
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Kind: FaultPkey, Addr: 0x1234, Access: Write, PKey: 3}
+	want := "mem: pkey-fault on write of 0x1234 (pkey 3)"
+	if f.Error() != want {
+		t.Fatalf("Error() = %q", f.Error())
+	}
+	f2 := &Fault{Kind: FaultPage, Addr: 0x10, Access: Exec}
+	if f2.Error() != "mem: page-fault on exec of 0x10" {
+		t.Fatalf("Error() = %q", f2.Error())
+	}
+}

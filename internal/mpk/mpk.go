@@ -1,0 +1,139 @@
+// Package mpk models the Memory Protection Keys architecture state: the
+// 32-bit PKRU register holding an {Access-Disable, Write-Disable} bit pair
+// for each of 16 protection keys, and the permission-evaluation rule
+// (the most strict of the PTE permissions and the PKRU pair wins).
+package mpk
+
+import "fmt"
+
+// NumKeys is the number of protection keys supported (4 PTE bits).
+const NumKeys = 16
+
+// PKRU is the per-CPU user-accessible protection-key rights register.
+// Bit 2k is Access-Disable (AD) for key k; bit 2k+1 is Write-Disable (WD).
+// If access is allowed (AD clear), reads are always allowed irrespective
+// of WD.
+type PKRU uint32
+
+// AllowAll grants read+write for every key.
+const AllowAll PKRU = 0
+
+// DenyAll sets AD and WD for every key.
+const DenyAll PKRU = 0xFFFFFFFF
+
+// Perm is the permission pair for a single key.
+type Perm struct {
+	AD bool // access disabled (no read, no write)
+	WD bool // write disabled
+}
+
+// String renders the pair like "AD|WD", "WD", or "RW".
+func (p Perm) String() string {
+	switch {
+	case p.AD && p.WD:
+		return "AD|WD"
+	case p.AD:
+		return "AD"
+	case p.WD:
+		return "WD"
+	}
+	return "RW"
+}
+
+// Key returns the permission pair for key k.
+func (r PKRU) Key(k int) Perm {
+	checkKey(k)
+	return Perm{
+		AD: r&(1<<(2*k)) != 0,
+		WD: r&(1<<(2*k+1)) != 0,
+	}
+}
+
+// AccessDisabled reports whether key k has AD set.
+func (r PKRU) AccessDisabled(k int) bool {
+	checkKey(k)
+	return r&(1<<(2*k)) != 0
+}
+
+// WriteDisabled reports whether key k has WD set.
+func (r PKRU) WriteDisabled(k int) bool {
+	checkKey(k)
+	return r&(1<<(2*k+1)) != 0
+}
+
+// WithKey returns a copy of r with key k's pair replaced by p.
+func (r PKRU) WithKey(k int, p Perm) PKRU {
+	checkKey(k)
+	r &^= 3 << (2 * k)
+	if p.AD {
+		r |= 1 << (2 * k)
+	}
+	if p.WD {
+		r |= 1 << (2*k + 1)
+	}
+	return r
+}
+
+// ReadAllowed reports whether a read through key k is permitted by r alone.
+func (r PKRU) ReadAllowed(k int) bool { return !r.AccessDisabled(k) }
+
+// WriteAllowed reports whether a write through key k is permitted by r alone.
+func (r PKRU) WriteAllowed(k int) bool {
+	return !r.AccessDisabled(k) && !r.WriteDisabled(k)
+}
+
+// Allows reports whether r permits the access kind through key k.
+func (r PKRU) Allows(k int, write bool) bool {
+	if write {
+		return r.WriteAllowed(k)
+	}
+	return r.ReadAllowed(k)
+}
+
+// ADMask returns a 16-bit map with bit k set when key k has AD set.
+// The SpecMPK Disabling Counters are incremented/decremented from this
+// bitmap (one copy is stored per ROB_pkru entry).
+func (r PKRU) ADMask() uint16 {
+	var m uint16
+	for k := 0; k < NumKeys; k++ {
+		if r&(1<<(2*k)) != 0 {
+			m |= 1 << k
+		}
+	}
+	return m
+}
+
+// WDMask returns a 16-bit map with bit k set when key k has WD set.
+func (r PKRU) WDMask() uint16 {
+	var m uint16
+	for k := 0; k < NumKeys; k++ {
+		if r&(1<<(2*k+1)) != 0 {
+			m |= 1 << k
+		}
+	}
+	return m
+}
+
+// String renders only the keys with restrictions, e.g. "pkru{1:WD 3:AD|WD}".
+func (r PKRU) String() string {
+	s := "pkru{"
+	first := true
+	for k := 0; k < NumKeys; k++ {
+		p := r.Key(k)
+		if !p.AD && !p.WD {
+			continue
+		}
+		if !first {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%s", k, p)
+		first = false
+	}
+	return s + "}"
+}
+
+func checkKey(k int) {
+	if k < 0 || k >= NumKeys {
+		panic(fmt.Sprintf("mpk: key %d out of range", k))
+	}
+}

@@ -1,0 +1,126 @@
+package mpk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllowAllDenyAll(t *testing.T) {
+	for k := 0; k < NumKeys; k++ {
+		if !AllowAll.ReadAllowed(k) || !AllowAll.WriteAllowed(k) {
+			t.Fatalf("AllowAll should permit key %d", k)
+		}
+		if DenyAll.ReadAllowed(k) || DenyAll.WriteAllowed(k) {
+			t.Fatalf("DenyAll should forbid key %d", k)
+		}
+	}
+}
+
+func TestWithKeyRoundTrip(t *testing.T) {
+	f := func(raw uint32, kRaw uint8, ad, wd bool) bool {
+		r := PKRU(raw)
+		k := int(kRaw) % NumKeys
+		r2 := r.WithKey(k, Perm{AD: ad, WD: wd})
+		got := r2.Key(k)
+		if got.AD != ad || got.WD != wd {
+			return false
+		}
+		// All other keys unchanged.
+		for j := 0; j < NumKeys; j++ {
+			if j == k {
+				continue
+			}
+			if r2.Key(j) != r.Key(j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAllowedIgnoresWD(t *testing.T) {
+	r := AllowAll.WithKey(3, Perm{WD: true})
+	if !r.ReadAllowed(3) {
+		t.Fatal("WD alone must still permit reads")
+	}
+	if r.WriteAllowed(3) {
+		t.Fatal("WD must forbid writes")
+	}
+}
+
+func TestADForbidsBoth(t *testing.T) {
+	r := AllowAll.WithKey(7, Perm{AD: true})
+	if r.ReadAllowed(7) || r.WriteAllowed(7) {
+		t.Fatal("AD must forbid reads and writes")
+	}
+	if !r.Allows(6, true) || !r.Allows(6, false) {
+		t.Fatal("other keys unaffected")
+	}
+	if r.Allows(7, false) {
+		t.Fatal("Allows(read) must fail under AD")
+	}
+}
+
+func TestMasks(t *testing.T) {
+	r := AllowAll.
+		WithKey(0, Perm{AD: true}).
+		WithKey(1, Perm{WD: true}).
+		WithKey(15, Perm{AD: true, WD: true})
+	if got := r.ADMask(); got != (1<<0)|(1<<15) {
+		t.Fatalf("ADMask = %04x", got)
+	}
+	if got := r.WDMask(); got != (1<<1)|(1<<15) {
+		t.Fatalf("WDMask = %04x", got)
+	}
+}
+
+func TestMasksQuick(t *testing.T) {
+	f := func(raw uint32) bool {
+		r := PKRU(raw)
+		ad, wd := r.ADMask(), r.WDMask()
+		for k := 0; k < NumKeys; k++ {
+			if (ad>>k)&1 == 1 != r.AccessDisabled(k) {
+				return false
+			}
+			if (wd>>k)&1 == 1 != r.WriteDisabled(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if (Perm{}).String() != "RW" {
+		t.Fatal("zero perm is RW")
+	}
+	if (Perm{AD: true, WD: true}).String() != "AD|WD" {
+		t.Fatal("bad AD|WD render")
+	}
+}
+
+func TestPKRUString(t *testing.T) {
+	r := AllowAll.WithKey(1, Perm{WD: true}).WithKey(3, Perm{AD: true})
+	want := "pkru{1:WD 3:AD}"
+	if got := r.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if AllowAll.String() != "pkru{}" {
+		t.Fatal("AllowAll renders empty set")
+	}
+}
+
+func TestKeyRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range key")
+		}
+	}()
+	AllowAll.Key(16)
+}

@@ -1,0 +1,564 @@
+// Package pipeline implements the cycle-level out-of-order core the paper
+// evaluates on: a MIPS-R10K-style superscalar with a physical register file,
+// rename/architectural map tables, an active list, conservative memory
+// disambiguation with store-to-load forwarding, a TAGE+BTB+RAS front end,
+// split TLBs and a four-level cache hierarchy — configured per Table III.
+//
+// Three WRPKRU microarchitectures are selectable (paper §VII):
+//
+//   - ModeSerialized: WRPKRU drains the pipeline at rename and blocks rename
+//     until it retires (models current hardware).
+//   - ModeNonSecure: PKRU is renamed; WRPKRU executes speculatively with no
+//     side-channel protection ("NonSecure SpecMPK").
+//   - ModeSpecMPK: the paper's design — NonSecure plus the PKRU Load/Store
+//     checks backed by the Disabling Counters, stall-until-retirement for
+//     suspect loads, store-to-load-forwarding suppression, and deferred TLB
+//     updates.
+package pipeline
+
+import (
+	"fmt"
+
+	"specmpk/internal/asm"
+	"specmpk/internal/bpred"
+	"specmpk/internal/cache"
+	"specmpk/internal/core"
+	"specmpk/internal/isa"
+	"specmpk/internal/mem"
+	"specmpk/internal/mpk"
+	"specmpk/internal/tlb"
+)
+
+// Mode selects the WRPKRU microarchitecture.
+type Mode int
+
+// The three evaluated microarchitectures.
+const (
+	ModeSerialized Mode = iota
+	ModeNonSecure
+	ModeSpecMPK
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSerialized:
+		return "serialized"
+	case ModeNonSecure:
+		return "nonsecure"
+	case ModeSpecMPK:
+		return "specmpk"
+	}
+	return fmt.Sprintf("mode%d", int(m))
+}
+
+// Config is the machine configuration (Table III defaults via DefaultConfig).
+type Config struct {
+	Mode Mode
+
+	// Width applies to fetch, rename and retire (the paper's machine is
+	// 8-wide issue/decode/commit).
+	Width      int
+	IssueWidth int
+
+	ALSize  int // active list (ROB) entries
+	IQSize  int // issue queue entries
+	LQSize  int // load queue entries
+	SQSize  int // store queue entries
+	PRFSize int // physical registers
+
+	ROBPkruSize int // ROB_pkru entries (SpecMPK / NonSecure)
+
+	BTBEntries int
+	RASEntries int
+
+	// FrontendDepth is the fetch-to-rename latency in cycles (decode
+	// stages); it sets the minimum branch misprediction penalty.
+	FrontendDepth int
+
+	// MemDepSpeculation lets loads issue before all older store addresses
+	// are known (optimistic memory disambiguation). A store whose address
+	// resolves against an already-executed younger load squashes from that
+	// load and refetches — the memory-dependence-violation squash the
+	// paper's §V-C2 discussion references. Violating load PCs enter a
+	// small dependence-predictor blacklist and wait conservatively
+	// afterwards (store-set-lite). Off by default: the Table III baseline
+	// uses conservative disambiguation.
+	MemDepSpeculation bool
+
+	// StallSuspectStores is an ABLATION knob for the SpecMPK mode: stores
+	// that fail the PKRU Store Check defer even their *address generation*
+	// to retirement instead of executing with forwarding suppressed. The
+	// paper's design deliberately lets such stores execute (§V-C2: "this
+	// approach also facilitates address generation, enabling younger load
+	// instructions to learn the physical address of older store
+	// instructions and thereby reducing squash resulting from memory
+	// dependence speculation"); this knob quantifies that choice when
+	// combined with MemDepSpeculation.
+	StallSuspectStores bool
+
+	// NoTLBDeferral is an ABLATION knob for the SpecMPK mode: it disables
+	// the §V-C5 rule that conservatively stalls TLB-missing accesses until
+	// retirement, letting them page-walk speculatively instead (the PKRU
+	// checks still apply once the pKey is known). This trades away the
+	// TLB side-channel protection to measure what the conservatism costs.
+	NoTLBDeferral bool
+
+	Caches cache.HierarchyConfig
+	DTLB   tlb.Config
+	ITLB   tlb.Config
+}
+
+// DefaultConfig returns the Table III configuration: 8-wide, AL/LQ/SQ/IQ/PRF
+// = 352/128/72/160/280, ROB_pkru = 8, 4096-entry BTB, 32-entry RAS, LTAGE
+// direction prediction, and the Table III cache hierarchy.
+func DefaultConfig() Config {
+	return Config{
+		Mode:          ModeSpecMPK,
+		Width:         8,
+		IssueWidth:    8,
+		ALSize:        352,
+		IQSize:        160,
+		LQSize:        128,
+		SQSize:        72,
+		PRFSize:       280,
+		ROBPkruSize:   8,
+		BTBEntries:    4096,
+		RASEntries:    32,
+		FrontendDepth: 3,
+		Caches:        cache.DefaultHierarchyConfig(),
+		DTLB:          tlb.DefaultDataConfig(),
+		ITLB:          tlb.DefaultInstConfig(),
+	}
+}
+
+func (c Config) validate() error {
+	if c.Width <= 0 || c.IssueWidth <= 0 {
+		return fmt.Errorf("pipeline: widths must be positive")
+	}
+	if c.ALSize <= 0 || c.PRFSize < isa.NumRegs+c.Width {
+		return fmt.Errorf("pipeline: AL/PRF too small")
+	}
+	if c.Mode != ModeSerialized && c.ROBPkruSize <= 0 {
+		return fmt.Errorf("pipeline: ROB_pkru size must be positive")
+	}
+	return nil
+}
+
+// Stats are the counters a run accumulates.
+type Stats struct {
+	Cycles uint64
+	Insts  uint64 // retired instructions
+
+	Fetched  uint64
+	Renamed  uint64
+	IssuedN  uint64
+	Squashed uint64
+
+	Branches    uint64
+	Mispredicts uint64
+	Calls       uint64
+	Returns     uint64
+
+	Loads  uint64 // retired
+	Stores uint64 // retired
+	Wrpkru uint64 // retired
+	Rdpkru uint64 // retired
+
+	// RenameStallCycles counts cycles in which the rename stage wanted to
+	// rename at least one instruction but renamed none.
+	RenameStallCycles uint64
+	// SerializeStallCycles is the subset of rename stalls attributable to
+	// WRPKRU/RDPKRU serialization (Fig. 3's second series).
+	SerializeStallCycles uint64
+	// PkruFullStallCycles is the subset caused by a full ROB_pkru (Fig. 11).
+	PkruFullStallCycles uint64
+
+	LoadsStalledTillHead uint64 // PKRU Load Check failures + TLB-miss defers
+	StoresNoForward      uint64 // PKRU Store Check failures
+	LoadsForwarded       uint64
+	ForwardBlockedLoads  uint64 // loads that hit a no-forward store
+	MemOrderViolations   uint64 // memdep-speculation squashes
+
+	PkeyFaults uint64
+	Faults     uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredictions per retired branch.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// WrpkruPerKilo returns retired WRPKRU per 1000 retired instructions.
+func (s Stats) WrpkruPerKilo() float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Wrpkru) / float64(s.Insts)
+}
+
+// state of an active-list entry.
+type alState uint8
+
+const (
+	stWaiting alState = iota
+	stIssued
+	stDone
+)
+
+const noReg = -1
+
+// TraceRecord carries one retired instruction's per-stage timestamps.
+type TraceRecord struct {
+	Seq                                    uint64
+	PC                                     uint64
+	Inst                                   isa.Inst
+	Fetch, Rename, Issue, Complete, Retire uint64
+}
+
+// alEntry is one in-flight instruction.
+type alEntry struct {
+	seq  uint64
+	pc   uint64
+	in   isa.Inst
+	st   alState
+	done uint64 // cycle the result becomes visible
+
+	fetchCyc  uint64
+	renameCyc uint64
+	issueCyc  uint64
+
+	// Renaming.
+	newPhys int // physical destination or noReg
+	physRs1 int
+	physRs2 int
+
+	// Control flow.
+	predTaken  bool
+	predTarget uint64
+	hasDir     bool
+	dir        bpred.DirState
+	rasCkpt    bpred.RASCheckpoint
+	actTaken   bool
+	actTarget  uint64
+
+	// PKRU.
+	pkruTag int // renamed PKRU source (core.TagARF or ROB_pkru index)
+	pkruDst int // ROB_pkru entry written by this WRPKRU, else -1
+	// pkruDepSeq is the sequence number of the youngest older WRPKRU this
+	// instruction must wait for (0 = none in flight at rename). Sequence
+	// numbers are used instead of ROB_pkru tags for the wakeup condition
+	// because a tag's slot can be recycled after retirement — the staleness
+	// hazard the paper's dedicated-register-file design addresses (§V-B1).
+	pkruDepSeq uint64
+
+	// Memory.
+	isLoad, isStore bool
+	addrReady       bool
+	vaddr           uint64
+	paddr           uint64
+	memBytes        int
+	pkey            int
+	storeData       uint64
+	noForward       bool // SpecMPK: store-to-load forwarding suppressed
+	stallTillHead   bool // execute only at AL head
+	reissued        bool
+	tlbDeferred     bool // SpecMPK: TLB fill deferred to retirement
+
+	fault *mem.Fault // delivered at retirement
+}
+
+// FaultAction mirrors funcsim's fault-handler verdicts.
+type FaultAction int
+
+// Fault-handler verdicts.
+const (
+	FaultStop FaultAction = iota
+	FaultRetry
+	FaultSkip
+)
+
+// Machine is one out-of-order core bound to a loaded program.
+type Machine struct {
+	Cfg  Config
+	Prog *asm.Program
+	AS   *mem.AddressSpace
+
+	Stats Stats
+
+	// Hier, DTLB, ITLB expose the memory system for inspection
+	// (the attack harness probes cache residency through timed loads, and
+	// tests probe directly).
+	Hier *cache.Hierarchy
+	DTLB *tlb.TLB
+	ITLB *tlb.TLB
+
+	// PKRUState is the SpecMPK hardware (also used, without its checks, by
+	// the NonSecure mode; the serialized mode only uses its ARF).
+	PKRUState *core.State
+
+	// OnLoadLatency observes every executed load (including transient
+	// ones) with its observed latency — the measurement hook the
+	// flush+reload harness uses (Fig. 13).
+	OnLoadLatency func(vaddr uint64, lat int)
+	// OnRetire observes every retired (architecturally committed)
+	// instruction in program order — tracing and debugging.
+	OnRetire func(seq uint64, pc uint64, in isa.Inst)
+	// OnTrace, when set, receives per-instruction stage timestamps at
+	// retirement (the pipeline-visualization hook; see cmd/specmpk-sim
+	// -pipeview).
+	OnTrace func(TraceRecord)
+	// FaultHandler is consulted when a fault reaches retirement.
+	FaultHandler func(f *mem.Fault, pkru *mpk.PKRU) FaultAction
+
+	// Front end.
+	tage *bpred.TAGE
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+
+	pc           uint64
+	fetchStopped bool // saw HALT (or unrecoverable fetch fault)
+	fetchStallTo uint64
+	fq           []fqEntry // fetch/decode queue
+
+	// Rename structures.
+	rmt      [isa.NumRegs]int
+	amt      [isa.NumRegs]int
+	prf      []uint64
+	prfReady []bool
+	freeList []int
+
+	// Active list (circular).
+	al     []alEntry
+	alHead int
+	alTail int
+	alCnt  int
+
+	lqCnt, sqCnt int
+	iqCnt        int // renamed but not yet issued
+
+	seq        uint64
+	cycle      uint64
+	halted     bool
+	fault      *mem.Fault
+	curICLine  uint64 // last fetched I-cache line+1 (0 = none)
+	serialWait bool   // serialized mode: WRPKRU in flight blocks rename
+
+	// lastRenamedWrpkruSeq is the seq of the youngest renamed-and-surviving
+	// WRPKRU; consumers capture it as their pkruDepSeq.
+	lastRenamedWrpkruSeq uint64
+	// violators is the dependence predictor's blacklist: load PCs that
+	// caused a memory-order violation wait conservatively from then on.
+	violators map[uint64]bool
+	// wrpkruExecHighwater is the highest seq of any executed WRPKRU.
+	// Because WRPKRUs execute in program order, pkruDepSeq <= highwater
+	// means every older WRPKRU has executed.
+	wrpkruExecHighwater uint64
+}
+
+type fqEntry struct {
+	pc        uint64
+	in        isa.Inst
+	readyAt   uint64
+	fetchedAt uint64
+
+	predTaken  bool
+	predTarget uint64
+	hasDir     bool
+	dir        bpred.DirState
+	rasCkpt    bpred.RASCheckpoint
+}
+
+// New loads prog and builds a machine.
+func New(cfg Config, prog *asm.Program) (*Machine, error) {
+	as, err := prog.Load()
+	if err != nil {
+		return nil, err
+	}
+	return NewWithState(cfg, prog, as, nil, mpk.AllowAll, prog.Entry)
+}
+
+// NewWithState builds a machine resuming from a checkpointed architectural
+// state: an existing address space (typically fast-forwarded by the
+// functional simulator), a register file (nil for the program's initial
+// registers), a committed PKRU, and a start pc. This is how SimPoint
+// intervals are simulated in detail from the middle of a program.
+func NewWithState(cfg Config, prog *asm.Program, as *mem.AddressSpace,
+	regs *[isa.NumRegs]uint64, pkru mpk.PKRU, pc uint64) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pkruEntries := cfg.ROBPkruSize
+	if cfg.Mode == ModeNonSecure {
+		// The NonSecure microarchitecture renames PKRU through the main
+		// physical register file (paper §VII), so it never stalls on
+		// PKRU-rename capacity; model that as one slot per AL entry.
+		pkruEntries = cfg.ALSize
+	}
+	m := &Machine{
+		Cfg:       cfg,
+		Prog:      prog,
+		AS:        as,
+		Hier:      cache.NewHierarchy(cfg.Caches),
+		DTLB:      tlb.New(cfg.DTLB),
+		ITLB:      tlb.New(cfg.ITLB),
+		PKRUState: core.New(core.Config{ROBSize: maxInt(pkruEntries, 1)}),
+		tage:      bpred.NewTAGE(),
+		btb:       bpred.NewBTB(cfg.BTBEntries),
+		ras:       bpred.NewRAS(cfg.RASEntries),
+		pc:        pc,
+		prf:       make([]uint64, cfg.PRFSize),
+		prfReady:  make([]bool, cfg.PRFSize),
+		al:        make([]alEntry, cfg.ALSize),
+	}
+	m.PKRUState.SetARF(pkru)
+	if cfg.MemDepSpeculation {
+		m.violators = make(map[uint64]bool)
+	}
+	// Architectural registers live in phys 0..31 initially.
+	for r := 0; r < isa.NumRegs; r++ {
+		m.rmt[r] = r
+		m.amt[r] = r
+		m.prfReady[r] = true
+	}
+	if regs != nil {
+		for r := 0; r < isa.NumRegs; r++ {
+			m.prf[r] = regs[r]
+		}
+		m.prf[isa.RegZero] = 0
+	} else {
+		for r, v := range prog.InitRegs {
+			m.prf[r] = v
+		}
+	}
+	for p := isa.NumRegs; p < cfg.PRFSize; p++ {
+		m.freeList = append(m.freeList, p)
+	}
+	return m, nil
+}
+
+// RunInsts steps until n instructions have retired (or HALT/fault/cycle
+// budget). Used for fixed-length SimPoint interval simulation.
+func (m *Machine) RunInsts(n, maxCycles uint64) error {
+	for m.cycle < maxCycles && m.Stats.Insts < n {
+		if m.halted {
+			return nil
+		}
+		if m.fault != nil {
+			return m.fault
+		}
+		m.Step()
+	}
+	if m.Stats.Insts >= n || m.halted {
+		return nil
+	}
+	if m.fault != nil {
+		return m.fault
+	}
+	return ErrCycleLimit
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Halted reports whether the program has retired its HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Fault returns the fault that terminated the run, if any.
+func (m *Machine) Fault() *mem.Fault { return m.fault }
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// ArchReg reads the committed architectural value of register r.
+func (m *Machine) ArchReg(r int) uint64 { return m.prf[m.amt[r]] }
+
+// ArchRegs returns the committed architectural register file.
+func (m *Machine) ArchRegs() [isa.NumRegs]uint64 {
+	var out [isa.NumRegs]uint64
+	for r := 0; r < isa.NumRegs; r++ {
+		out[r] = m.prf[m.amt[r]]
+	}
+	return out
+}
+
+// PKRU returns the committed PKRU.
+func (m *Machine) PKRU() mpk.PKRU { return m.PKRUState.ARF() }
+
+// FreeRegCount returns the free-list depth (invariant: after the pipeline
+// drains, free + architectural registers == PRF size).
+func (m *Machine) FreeRegCount() int { return len(m.freeList) }
+
+// Predictors exposes the direction predictor and BTB so a functional-warming
+// pass (SimPoint) can train them before detailed simulation starts.
+func (m *Machine) Predictors() (*bpred.TAGE, *bpred.BTB) { return m.tage, m.btb }
+
+// SetArchState overwrites the committed architectural state. It is only
+// meaningful before the first Step (SimPoint installs the checkpoint after
+// functional warming has run against the shared address space).
+func (m *Machine) SetArchState(regs *[isa.NumRegs]uint64, pkru mpk.PKRU, pc uint64) {
+	for r := 0; r < isa.NumRegs; r++ {
+		m.prf[m.amt[r]] = regs[r]
+	}
+	m.prf[m.amt[isa.RegZero]] = 0
+	m.PKRUState.SetARF(pkru)
+	m.pc = pc
+}
+
+// InFlight returns the number of active-list entries currently occupied.
+func (m *Machine) InFlight() int { return m.alCnt }
+
+// ErrCycleLimit is returned by Run when the cycle budget expires first.
+var ErrCycleLimit = fmt.Errorf("pipeline: cycle limit reached")
+
+// Run steps the machine until HALT retires, a fault terminates the program,
+// or maxCycles elapse.
+func (m *Machine) Run(maxCycles uint64) error {
+	for m.cycle < maxCycles {
+		if m.halted {
+			return nil
+		}
+		if m.fault != nil {
+			return m.fault
+		}
+		m.Step()
+	}
+	if m.halted {
+		return nil
+	}
+	if m.fault != nil {
+		return m.fault
+	}
+	return ErrCycleLimit
+}
+
+// Step advances one cycle. Stage order within the cycle is back to front so
+// same-cycle structural hazards resolve conservatively.
+func (m *Machine) Step() {
+	m.cycle++
+	m.Stats.Cycles++
+	m.completeStage()
+	m.retireStage()
+	m.issueStage()
+	m.renameStage()
+	m.fetchStage()
+}
+
+// alAt returns the entry at ring offset i from head (0 = oldest).
+func (m *Machine) alAt(i int) *alEntry {
+	return &m.al[(m.alHead+i)%len(m.al)]
+}

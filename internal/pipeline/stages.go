@@ -1,0 +1,1057 @@
+package pipeline
+
+import (
+	"specmpk/internal/core"
+	"specmpk/internal/isa"
+	"specmpk/internal/mem"
+	"specmpk/internal/mpk"
+)
+
+// ---------------------------------------------------------------------------
+// Fetch
+
+func (m *Machine) fetchStage() {
+	if m.fetchStopped || m.halted || m.fault != nil {
+		return
+	}
+	if m.cycle < m.fetchStallTo {
+		return
+	}
+	cap := m.Cfg.Width * (m.Cfg.FrontendDepth + 1)
+	for n := 0; n < m.Cfg.Width && len(m.fq) < cap; n++ {
+		// Instruction-cache timing: charge only when crossing into a new
+		// line; hit latency is pipelined away, misses stall fetch.
+		line := m.pc>>6 + 1
+		if line != m.curICLine {
+			stall := m.fetchPenalty(m.pc)
+			m.curICLine = line
+			if stall > 0 {
+				m.fetchStallTo = m.cycle + uint64(stall)
+				return
+			}
+		}
+		in, ok := m.Prog.InstAt(m.pc)
+		if !ok {
+			// Fetch wandered off the text segment (usually wrong path).
+			// Enqueue a faulting marker and stop fetching; a squash or
+			// retirement will sort it out.
+			m.fq = append(m.fq, fqEntry{
+				pc:        m.pc,
+				in:        isa.Inst{Op: isa.OpNop},
+				readyAt:   m.cycle + uint64(m.Cfg.FrontendDepth),
+				fetchedAt: m.cycle,
+			})
+			m.fq[len(m.fq)-1].rasCkpt = m.ras.Checkpoint()
+			m.fetchStopped = true
+			m.Stats.Fetched++
+			return
+		}
+		fe := fqEntry{pc: m.pc, in: in, readyAt: m.cycle + uint64(m.Cfg.FrontendDepth), fetchedAt: m.cycle}
+		nextPC := m.pc + isa.InstBytes
+		taken := false
+		switch {
+		case in.Op.IsCondBranch():
+			pred, st := m.tage.Predict(m.pc)
+			m.tage.SpeculativeUpdate(pred)
+			fe.hasDir = true
+			fe.dir = st
+			fe.predTaken = pred
+			fe.predTarget = uint64(in.Imm)
+			if pred {
+				nextPC = fe.predTarget
+				taken = true
+			}
+		case in.Op == isa.OpJal:
+			fe.predTaken = true
+			fe.predTarget = uint64(in.Imm)
+			if in.IsCall() {
+				m.ras.Push(m.pc + isa.InstBytes)
+			}
+			nextPC = fe.predTarget
+			taken = true
+		case in.Op == isa.OpJalr:
+			fe.predTaken = true
+			if in.IsReturn() {
+				fe.predTarget = m.ras.Pop()
+			} else {
+				if tgt, hit := m.btb.Lookup(m.pc); hit {
+					fe.predTarget = tgt
+				} else {
+					fe.predTarget = m.pc + isa.InstBytes // guaranteed redirect later
+				}
+				if in.IsCall() {
+					m.ras.Push(m.pc + isa.InstBytes)
+				}
+			}
+			nextPC = fe.predTarget
+			taken = true
+		}
+		// Checkpoint captures the state *after* this instruction's own RAS
+		// effect, so recovery replays younger wrong-path effects only.
+		fe.rasCkpt = m.ras.Checkpoint()
+		m.fq = append(m.fq, fe)
+		m.Stats.Fetched++
+		m.pc = nextPC
+		if in.Op == isa.OpHalt {
+			m.fetchStopped = true
+			return
+		}
+		if taken {
+			return // taken control ends the fetch group
+		}
+	}
+}
+
+// fetchPenalty returns the extra stall cycles for fetching the line at pc
+// (ITLB walk plus cache-miss cycles beyond the pipelined L1I hit latency).
+func (m *Machine) fetchPenalty(pc uint64) int {
+	stall := 0
+	vpn := pc >> mem.PageBits
+	pte, hit := m.ITLB.Lookup(vpn)
+	if !hit {
+		stall += m.ITLB.WalkLatency()
+		_, pte2, err := m.AS.Translate(pc, mem.Exec)
+		if err != nil {
+			// Unmapped code: charge the walk; InstAt will produce the
+			// fault marker.
+			return stall
+		}
+		m.ITLB.Fill(vpn, pte2)
+		pte = pte2
+	}
+	paddr := pte.PPN<<mem.PageBits | pc&(mem.PageSize-1)
+	lat := m.Hier.FetchLatency(paddr)
+	hitLat := 5
+	if lat > hitLat {
+		stall += lat - hitLat
+	}
+	return stall
+}
+
+// ---------------------------------------------------------------------------
+// Rename / dispatch
+
+type stallReason int
+
+const (
+	stallNone stallReason = iota
+	stallResource
+	stallSerialize
+	stallPkruFull
+)
+
+func (m *Machine) renameStage() {
+	if m.halted || m.fault != nil {
+		return
+	}
+	renamed := 0
+	wanted := false
+	reason := stallNone
+	iqOcc := m.iqOccupancy()
+	for renamed < m.Cfg.Width && len(m.fq) > 0 {
+		fe := m.fq[0]
+		if fe.readyAt > m.cycle {
+			break
+		}
+		wanted = true
+		in := fe.in
+		// Structural resources.
+		if m.alCnt == len(m.al) || iqOcc >= m.Cfg.IQSize {
+			reason = stallResource
+			break
+		}
+		if in.Op.IsLoad() && m.lqCnt >= m.Cfg.LQSize {
+			reason = stallResource
+			break
+		}
+		if in.Op.IsStore() && m.sqCnt >= m.Cfg.SQSize {
+			reason = stallResource
+			break
+		}
+		writes := in.WritesReg()
+		if writes && len(m.freeList) == 0 {
+			reason = stallResource
+			break
+		}
+		// WRPKRU / RDPKRU serialization per microarchitecture.
+		if m.Cfg.Mode == ModeSerialized {
+			if m.serialWait {
+				// A WRPKRU is in flight: rename is blocked entirely.
+				reason = stallSerialize
+				break
+			}
+			if in.Op == isa.OpWrpkru && m.alCnt > 0 {
+				// Drain before the serializing instruction enters.
+				reason = stallSerialize
+				break
+			}
+		} else {
+			if in.Op == isa.OpWrpkru && m.PKRUState.Full() {
+				reason = stallPkruFull
+				break
+			}
+			if in.Op == isa.OpRdpkru && m.PKRUState.RMTValid() {
+				// RDPKRU serializes against in-flight WRPKRU (§V-C6).
+				reason = stallSerialize
+				break
+			}
+		}
+
+		// Allocate the active-list entry.
+		m.fq = m.fq[1:]
+		m.seq++
+		e := &m.al[m.alTail]
+		*e = alEntry{
+			seq:        m.seq,
+			pc:         fe.pc,
+			in:         in,
+			fetchCyc:   fe.fetchedAt,
+			renameCyc:  m.cycle,
+			st:         stWaiting,
+			newPhys:    noReg,
+			physRs1:    noReg,
+			physRs2:    noReg,
+			pkruTag:    core.TagARF,
+			pkruDst:    -1,
+			predTaken:  fe.predTaken,
+			predTarget: fe.predTarget,
+			hasDir:     fe.hasDir,
+			dir:        fe.dir,
+			rasCkpt:    fe.rasCkpt,
+		}
+		m.alTail = (m.alTail + 1) % len(m.al)
+		m.alCnt++
+		iqOcc++
+		if _, ok := m.Prog.InstAt(fe.pc); !ok {
+			// Fetch-fault marker: deliver an exec fault at retirement.
+			e.fault = &mem.Fault{Kind: mem.FaultPage, Addr: fe.pc, Access: mem.Exec}
+			e.st = stDone
+			e.done = m.cycle
+			iqOcc--
+		}
+		if in.ReadsRs1() {
+			e.physRs1 = m.rmt[in.Rs1]
+		}
+		if in.ReadsRs2() {
+			e.physRs2 = m.rmt[in.Rs2]
+		}
+		// PKRU renaming.
+		if m.Cfg.Mode != ModeSerialized {
+			if in.Op.IsMem() || in.Op == isa.OpWrpkru {
+				e.pkruTag = m.PKRUState.SourceTag()
+				e.pkruDepSeq = m.lastRenamedWrpkruSeq
+			}
+			if in.Op == isa.OpWrpkru {
+				e.pkruDst = m.PKRUState.Rename(e.seq)
+				m.lastRenamedWrpkruSeq = e.seq
+			}
+		} else if in.Op == isa.OpWrpkru {
+			m.serialWait = true
+		}
+		if writes {
+			p := m.freeList[len(m.freeList)-1]
+			m.freeList = m.freeList[:len(m.freeList)-1]
+			e.newPhys = p
+			m.prfReady[p] = false
+			m.rmt[in.Rd] = p
+		}
+		if in.Op.IsLoad() {
+			e.isLoad = true
+			e.memBytes = in.Op.MemBytes()
+			m.lqCnt++
+		}
+		if in.Op.IsStore() {
+			e.isStore = true
+			e.memBytes = in.Op.MemBytes()
+			m.sqCnt++
+		}
+		renamed++
+		m.Stats.Renamed++
+	}
+	if wanted && renamed == 0 {
+		m.Stats.RenameStallCycles++
+		switch reason {
+		case stallSerialize:
+			m.Stats.SerializeStallCycles++
+		case stallPkruFull:
+			m.Stats.PkruFullStallCycles++
+		}
+	}
+}
+
+func (m *Machine) iqOccupancy() int {
+	n := 0
+	for i := 0; i < m.alCnt; i++ {
+		if m.alAt(i).st == stWaiting {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Issue + execute
+
+func (m *Machine) issueStage() {
+	if m.halted || m.fault != nil {
+		return
+	}
+	issued := 0
+	for i := 0; i < m.alCnt && issued < m.Cfg.IssueWidth; i++ {
+		e := m.alAt(i)
+		if e.st != stWaiting || e.stallTillHead {
+			continue
+		}
+		if !m.ready(e, i) {
+			continue
+		}
+		squashed := m.execute(e, i)
+		if e.st != stWaiting { // actually issued (not deferred to head)
+			issued++
+			m.Stats.IssuedN++
+		}
+		if squashed {
+			// A resolving store found a memory-order violation and the
+			// window behind it is gone; indices are stale.
+			return
+		}
+	}
+}
+
+func (m *Machine) ready(e *alEntry, idx int) bool {
+	if e.physRs1 != noReg && !m.prfReady[e.physRs1] {
+		return false
+	}
+	if e.physRs2 != noReg && !m.prfReady[e.physRs2] {
+		return false
+	}
+	// All memory instructions and WRPKRU wait for every older WRPKRU to
+	// have executed (SpecMPK design principle 2; enforced in real hardware
+	// via the renamed PKRU source operand).
+	if e.pkruDepSeq > m.wrpkruExecHighwater {
+		return false
+	}
+	if e.isLoad {
+		// Conservative disambiguation: all older store addresses known.
+		// With memory-dependence speculation the load goes ahead anyway
+		// (unless its PC has violated before) and a later-resolving store
+		// squashes it on overlap.
+		if m.Cfg.MemDepSpeculation && !m.violators[e.pc] {
+			return true
+		}
+		for j := 0; j < idx; j++ {
+			s := m.alAt(j)
+			if s.isStore && !s.addrReady && s.fault == nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *Machine) srcVal(p int) uint64 {
+	if p == noReg {
+		return 0
+	}
+	return m.prf[p]
+}
+
+func opLatency(op isa.Op) int {
+	switch op {
+	case isa.OpMul:
+		return 3
+	case isa.OpDiv:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// execute runs the instruction at AL offset idx. It reports whether a
+// memory-order-violation squash occurred (which invalidates AL offsets).
+func (m *Machine) execute(e *alEntry, idx int) bool {
+	e.issueCyc = m.cycle
+	rs1 := m.srcVal(e.physRs1)
+	rs2 := m.srcVal(e.physRs2)
+	lat := opLatency(e.in.Op)
+
+	switch {
+	case e.in.Op.IsALU():
+		var val uint64
+		switch e.in.Op {
+		case isa.OpAdd:
+			val = rs1 + rs2
+		case isa.OpSub:
+			val = rs1 - rs2
+		case isa.OpAnd:
+			val = rs1 & rs2
+		case isa.OpOr:
+			val = rs1 | rs2
+		case isa.OpXor:
+			val = rs1 ^ rs2
+		case isa.OpShl:
+			val = rs1 << (rs2 & 63)
+		case isa.OpShr:
+			val = rs1 >> (rs2 & 63)
+		case isa.OpMul:
+			val = rs1 * rs2
+		case isa.OpDiv:
+			if rs2 == 0 {
+				val = ^uint64(0)
+			} else {
+				val = rs1 / rs2
+			}
+		case isa.OpAddi:
+			val = rs1 + uint64(e.in.Imm)
+		case isa.OpAndi:
+			val = rs1 & uint64(e.in.Imm)
+		case isa.OpOri:
+			val = rs1 | uint64(e.in.Imm)
+		case isa.OpXori:
+			val = rs1 ^ uint64(e.in.Imm)
+		case isa.OpShli:
+			val = rs1 << (uint64(e.in.Imm) & 63)
+		case isa.OpShri:
+			val = rs1 >> (uint64(e.in.Imm) & 63)
+		case isa.OpMovi:
+			val = uint64(e.in.Imm)
+		case isa.OpRdcycle:
+			val = m.cycle
+		}
+		m.writeDest(e, val)
+	case e.in.Op.IsCondBranch():
+		e.actTaken = evalBranch(e.in.Op, rs1, rs2)
+		e.actTarget = uint64(e.in.Imm)
+	case e.in.Op == isa.OpJal:
+		e.actTaken = true
+		e.actTarget = uint64(e.in.Imm)
+		m.writeDest(e, e.pc+isa.InstBytes)
+	case e.in.Op == isa.OpJalr:
+		e.actTaken = true
+		e.actTarget = rs1 + uint64(e.in.Imm)
+		m.writeDest(e, e.pc+isa.InstBytes)
+	case e.isLoad:
+		m.loadExecute(e, idx, rs1)
+		return false
+	case e.isStore:
+		m.storeExecute(e, rs1, rs2)
+		return m.checkMemOrder(idx)
+	case e.in.Op == isa.OpWrpkru:
+		e.storeData = uint64(uint32(rs1))
+	case e.in.Op == isa.OpRdpkru:
+		// Rename stalled until no WRPKRU was in flight, so ARF is current.
+		m.writeDest(e, uint64(m.PKRUState.ARF()))
+	case e.in.Op == isa.OpClflush:
+		// CLFLUSH is weakly ordered; model it taking effect at execute.
+		if paddr, _, err := m.AS.Translate(rs1+uint64(e.in.Imm), mem.Read); err == nil {
+			m.Hier.Flush(paddr)
+		}
+	case e.in.Op == isa.OpNop || e.in.Op == isa.OpHalt:
+		// Nothing to compute.
+	}
+	e.st = stIssued
+	e.done = m.cycle + uint64(lat)
+	return false
+}
+
+// checkMemOrder runs after a store at AL offset idx resolves its address
+// under memory-dependence speculation: any younger load that already
+// executed against an overlapping address read stale data and must squash
+// (together with everything after it). The violating PC joins the
+// dependence predictor's blacklist so it waits conservatively next time.
+func (m *Machine) checkMemOrder(idx int) bool {
+	if !m.Cfg.MemDepSpeculation {
+		return false
+	}
+	s := m.alAt(idx)
+	for j := idx + 1; j < m.alCnt; j++ {
+		l := m.alAt(j)
+		if !l.isLoad || l.st == stWaiting || l.fault != nil {
+			continue
+		}
+		if !overlaps(s.vaddr, s.memBytes, l.vaddr, l.memBytes) {
+			continue
+		}
+		m.Stats.MemOrderViolations++
+		m.violators[l.pc] = true
+		pc := l.pc
+		ras := l.rasCkpt
+		m.squashAfter(j - 1)
+		// Recover the front end to the load. (The global branch history
+		// keeps the squashed suffix's bits — predictor state is heuristic,
+		// not architectural.)
+		m.ras.Restore(ras)
+		m.pc = pc
+		m.fq = m.fq[:0]
+		m.fetchStopped = false
+		m.fetchStallTo = 0
+		m.curICLine = 0
+		return true
+	}
+	return false
+}
+
+func (m *Machine) writeDest(e *alEntry, val uint64) {
+	if e.newPhys != noReg {
+		m.prf[e.newPhys] = val
+	}
+}
+
+func evalBranch(op isa.Op, a, b uint64) bool {
+	switch op {
+	case isa.OpBeq:
+		return a == b
+	case isa.OpBne:
+		return a != b
+	case isa.OpBlt:
+		return int64(a) < int64(b)
+	case isa.OpBge:
+		return int64(a) >= int64(b)
+	}
+	return false
+}
+
+// specPKRU returns the PKRU value the NonSecure microarchitecture's memory
+// instruction at AL offset idx observes: the youngest older in-flight
+// WRPKRU's value (guaranteed executed by the issue dependence), or the
+// committed ARF.
+func (m *Machine) specPKRU(idx int) mpk.PKRU {
+	for j := idx - 1; j >= 0; j-- {
+		s := m.alAt(j)
+		if s.in.Op == isa.OpWrpkru {
+			return mpk.PKRU(s.storeData)
+		}
+	}
+	return m.PKRUState.ARF()
+}
+
+func pkeyFault(vaddr uint64, acc mem.AccessKind, key int) *mem.Fault {
+	return &mem.Fault{Kind: mem.FaultPkey, Addr: vaddr, Access: acc, PKey: key}
+}
+
+func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
+	e.vaddr = rs1 + uint64(e.in.Imm)
+	lat := 1 // address generation
+	vpn := e.vaddr >> mem.PageBits
+
+	pte, hit := m.DTLB.Lookup(vpn)
+	if !hit {
+		if m.Cfg.Mode == ModeSpecMPK && !m.Cfg.NoTLBDeferral {
+			// §V-C5: the pKey of an uncached page is unknown, so the access
+			// conservatively stalls and re-executes at the AL head.
+			e.stallTillHead = true
+			e.tlbDeferred = true
+			m.Stats.LoadsStalledTillHead++
+			return
+		}
+		lat += m.DTLB.WalkLatency()
+		paddr, pte2, err := m.AS.Translate(e.vaddr, mem.Read)
+		if err != nil {
+			m.finishFaulted(e, err.(*mem.Fault), lat)
+			return
+		}
+		m.DTLB.Fill(vpn, pte2)
+		pte = pte2
+		e.paddr = paddr
+	} else {
+		if !pte.AllowsProt(mem.Read) {
+			m.finishFaulted(e, &mem.Fault{Kind: mem.FaultProt, Addr: e.vaddr, Access: mem.Read}, lat)
+			return
+		}
+		e.paddr = pte.PPN<<mem.PageBits | e.vaddr&(mem.PageSize-1)
+	}
+	e.pkey = int(pte.PKey)
+
+	switch m.Cfg.Mode {
+	case ModeSpecMPK:
+		if m.PKRUState.LoadCheckFails(e.pkey) {
+			// PKRU Load Check failed: stall until non-squashable, leaving
+			// no cache or TLB footprint.
+			e.stallTillHead = true
+			m.Stats.LoadsStalledTillHead++
+			return
+		}
+	case ModeNonSecure:
+		if !m.specPKRU(idx).Allows(e.pkey, false) {
+			m.finishFaulted(e, pkeyFault(e.vaddr, mem.Read, e.pkey), lat)
+			return
+		}
+	case ModeSerialized:
+		if !m.PKRUState.ARF().Allows(e.pkey, false) {
+			m.finishFaulted(e, pkeyFault(e.vaddr, mem.Read, e.pkey), lat)
+			return
+		}
+	}
+
+	// Store-to-load forwarding against older in-flight stores. Stores with
+	// unresolved addresses can only be present under memory-dependence
+	// speculation; the load optimistically assumes independence and the
+	// store checks for a violation when it resolves.
+	for j := idx - 1; j >= 0; j-- {
+		s := m.alAt(j)
+		if !s.isStore || s.fault != nil || !s.addrReady {
+			continue
+		}
+		if !overlaps(s.vaddr, s.memBytes, e.vaddr, e.memBytes) {
+			continue
+		}
+		if s.noForward {
+			// SpecMPK: forwarding suppressed; the load waits for the head
+			// (by which time the store has committed to memory).
+			e.stallTillHead = true
+			m.Stats.ForwardBlockedLoads++
+			m.Stats.LoadsStalledTillHead++
+			return
+		}
+		if s.vaddr == e.vaddr && s.memBytes == e.memBytes {
+			val := s.storeData
+			if e.memBytes == 1 {
+				val &= 0xff
+			}
+			m.writeDest(e, val)
+			m.Stats.LoadsForwarded++
+			e.st = stIssued
+			e.done = m.cycle + uint64(lat+1)
+			m.loadHook(e, lat+1)
+			return
+		}
+		// Partial overlap: conservative.
+		e.stallTillHead = true
+		m.Stats.LoadsStalledTillHead++
+		return
+	}
+
+	lat += m.Hier.LoadLatency(e.paddr)
+	m.writeDest(e, m.readMem(e.paddr, e.memBytes))
+	e.st = stIssued
+	e.done = m.cycle + uint64(lat)
+	m.loadHook(e, lat)
+}
+
+func (m *Machine) loadHook(e *alEntry, lat int) {
+	if m.OnLoadLatency != nil {
+		m.OnLoadLatency(e.vaddr, lat)
+	}
+}
+
+func (m *Machine) readMem(paddr uint64, size int) uint64 {
+	if size == 1 {
+		return uint64(m.AS.Phys.Read8(paddr))
+	}
+	return m.AS.Phys.Read64(paddr)
+}
+
+func overlaps(a uint64, an int, b uint64, bn int) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}
+
+func (m *Machine) finishFaulted(e *alEntry, f *mem.Fault, lat int) {
+	e.fault = f
+	e.st = stIssued
+	e.done = m.cycle + uint64(lat)
+}
+
+func (m *Machine) storeExecute(e *alEntry, rs1, rs2 uint64) {
+	e.vaddr = rs1 + uint64(e.in.Imm)
+	e.storeData = rs2
+	e.addrReady = true
+	lat := 1
+	vpn := e.vaddr >> mem.PageBits
+
+	pte, hit := m.DTLB.Lookup(vpn)
+	if m.Cfg.Mode == ModeSpecMPK {
+		if !hit && m.Cfg.NoTLBDeferral {
+			// Ablation: walk speculatively, then apply the normal checks.
+			lat += m.DTLB.WalkLatency()
+			if paddr, pte2, err := m.AS.Translate(e.vaddr, mem.Write); err == nil {
+				m.DTLB.Fill(vpn, pte2)
+				pte, hit = pte2, true
+				e.paddr = paddr
+			}
+		}
+		if !hit {
+			// Defer translation, permission check, and the TLB fill to
+			// retirement; suppress forwarding meanwhile.
+			e.tlbDeferred = true
+			e.noForward = true
+			m.Stats.StoresNoForward++
+		} else {
+			e.pkey = int(pte.PKey)
+			e.paddr = pte.PPN<<mem.PageBits | e.vaddr&(mem.PageSize-1)
+			if !pte.AllowsProt(mem.Write) {
+				e.fault = &mem.Fault{Kind: mem.FaultProt, Addr: e.vaddr, Access: mem.Write}
+			} else if m.PKRUState.StoreCheckFails(e.pkey) {
+				// PKRU Store Check failed: no forwarding; precise
+				// permission re-verification happens at retirement.
+				e.noForward = true
+				m.Stats.StoresNoForward++
+			}
+		}
+		if e.noForward && e.fault == nil && m.Cfg.StallSuspectStores {
+			// Ablation: the suspect store withholds its address until it
+			// is non-squashable (see Config.StallSuspectStores).
+			e.addrReady = false
+			e.stallTillHead = true
+			return
+		}
+		e.st = stIssued
+		e.done = m.cycle + uint64(lat)
+		return
+	}
+
+	if !hit {
+		lat += m.DTLB.WalkLatency()
+		paddr, pte2, err := m.AS.Translate(e.vaddr, mem.Write)
+		if err != nil {
+			e.fault = err.(*mem.Fault)
+			e.st = stIssued
+			e.done = m.cycle + uint64(lat)
+			return
+		}
+		m.DTLB.Fill(vpn, pte2)
+		pte = pte2
+		e.paddr = paddr
+	} else {
+		if !pte.AllowsProt(mem.Write) {
+			e.fault = &mem.Fault{Kind: mem.FaultProt, Addr: e.vaddr, Access: mem.Write}
+			e.st = stIssued
+			e.done = m.cycle + uint64(lat)
+			return
+		}
+		e.paddr = pte.PPN<<mem.PageBits | e.vaddr&(mem.PageSize-1)
+	}
+	e.pkey = int(pte.PKey)
+
+	var pkru mpk.PKRU
+	if m.Cfg.Mode == ModeNonSecure {
+		pkru = m.specPKRUForEntry(e)
+	} else {
+		pkru = m.PKRUState.ARF()
+	}
+	if !pkru.Allows(e.pkey, true) {
+		e.fault = pkeyFault(e.vaddr, mem.Write, e.pkey)
+	}
+	e.st = stIssued
+	e.done = m.cycle + uint64(lat)
+}
+
+// specPKRUForEntry finds e's AL offset and delegates to specPKRU.
+func (m *Machine) specPKRUForEntry(e *alEntry) mpk.PKRU {
+	for i := 0; i < m.alCnt; i++ {
+		if m.alAt(i) == e {
+			return m.specPKRU(i)
+		}
+	}
+	return m.PKRUState.ARF()
+}
+
+// ---------------------------------------------------------------------------
+// Completion (writeback + branch resolution)
+
+func (m *Machine) completeStage() {
+	if m.halted || m.fault != nil {
+		return
+	}
+	for i := 0; i < m.alCnt; i++ {
+		e := m.alAt(i)
+		if e.st != stIssued || e.done > m.cycle {
+			continue
+		}
+		e.st = stDone
+		if e.newPhys != noReg {
+			// Faulting producers also wake dependents: the value is
+			// garbage but never commits — either an older branch squashes
+			// the region or the fault terminates at retire before any
+			// dependent commits. Without the wakeup, dependents of a
+			// wrong-path faulting load would wedge the issue queue.
+			m.prfReady[e.newPhys] = true
+		}
+		switch {
+		case e.in.Op == isa.OpWrpkru:
+			if m.Cfg.Mode == ModeSerialized {
+				m.PKRUState.SetARF(mpk.PKRU(e.storeData))
+			} else {
+				m.PKRUState.Execute(e.pkruDst, mpk.PKRU(e.storeData))
+				if e.seq > m.wrpkruExecHighwater {
+					m.wrpkruExecHighwater = e.seq
+				}
+			}
+		case e.in.Op.IsControl():
+			if m.resolveControl(e, i) {
+				return // squashed everything younger; stop scanning
+			}
+		}
+	}
+}
+
+// resolveControl trains the predictors and recovers from a misprediction.
+// Reports whether a squash happened.
+func (m *Machine) resolveControl(e *alEntry, idx int) bool {
+	if e.hasDir {
+		m.tage.Update(e.pc, e.dir, e.actTaken)
+	}
+	if e.in.Op == isa.OpJalr && !e.in.IsReturn() {
+		m.btb.Update(e.pc, e.actTarget)
+	}
+	mispredict := e.predTaken != e.actTaken ||
+		(e.actTaken && e.predTarget != e.actTarget)
+	if !mispredict {
+		return false
+	}
+	m.Stats.Mispredicts++
+	m.squashAfter(idx)
+	// Recover front-end state and redirect.
+	if e.hasDir {
+		m.tage.Recover(e.dir, e.actTaken)
+	}
+	m.ras.Restore(e.rasCkpt)
+	if e.actTaken {
+		m.pc = e.actTarget
+	} else {
+		m.pc = e.pc + isa.InstBytes
+	}
+	m.fq = m.fq[:0]
+	m.fetchStopped = false
+	m.fetchStallTo = 0
+	m.curICLine = 0
+	return true
+}
+
+// squashAfter removes every AL entry younger than offset idx (pass -1 to
+// flush the whole window) and repairs the rename state.
+func (m *Machine) squashAfter(idx int) {
+	for j := m.alCnt - 1; j > idx; j-- {
+		e := m.alAt(j)
+		if e.newPhys != noReg {
+			m.freeList = append(m.freeList, e.newPhys)
+			m.prfReady[e.newPhys] = false
+		}
+		if e.pkruDst >= 0 {
+			m.PKRUState.SquashYoungest()
+		}
+		if e.isLoad {
+			m.lqCnt--
+		}
+		if e.isStore {
+			m.sqCnt--
+		}
+		if e.in.Op == isa.OpWrpkru && m.Cfg.Mode == ModeSerialized {
+			m.serialWait = false
+		}
+		m.Stats.Squashed++
+	}
+	m.alCnt = idx + 1
+	m.alTail = (m.alHead + m.alCnt) % len(m.al)
+
+	// Rebuild the RMT: committed mappings plus surviving allocations.
+	m.rmt = m.amt
+	youngestPkru := core.TagARF
+	var youngestPkruSeq uint64
+	for j := 0; j <= idx; j++ {
+		e := m.alAt(j)
+		if e.newPhys != noReg {
+			m.rmt[e.in.Rd] = e.newPhys
+		}
+		if e.pkruDst >= 0 {
+			youngestPkru = e.pkruDst
+			youngestPkruSeq = e.seq
+		}
+	}
+	if m.Cfg.Mode != ModeSerialized {
+		m.PKRUState.SetRMT(youngestPkru)
+		m.lastRenamedWrpkruSeq = youngestPkruSeq
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Retire
+
+func (m *Machine) retireStage() {
+	retired := 0
+	for retired < m.Cfg.Width && m.alCnt > 0 && !m.halted && m.fault == nil {
+		e := m.alAt(0)
+		if e.stallTillHead && !e.reissued {
+			if e.isStore {
+				m.reissueStoreAtHead(e)
+			} else {
+				m.reissueAtHead(e)
+			}
+			return
+		}
+		if e.st != stDone || e.done > m.cycle {
+			return
+		}
+		if e.fault != nil {
+			m.deliverFault(e)
+			return
+		}
+		// Commit.
+		switch {
+		case e.isStore:
+			if !m.commitStore(e) {
+				return // fault surfaced at retirement
+			}
+			m.sqCnt--
+			m.Stats.Stores++
+		case e.isLoad:
+			m.lqCnt--
+			m.Stats.Loads++
+		case e.in.Op == isa.OpWrpkru:
+			if m.Cfg.Mode == ModeSerialized {
+				m.serialWait = false
+			} else {
+				m.PKRUState.Retire()
+			}
+			m.Stats.Wrpkru++
+		case e.in.Op == isa.OpRdpkru:
+			m.Stats.Rdpkru++
+		case e.in.Op.IsCondBranch():
+			m.Stats.Branches++
+		case e.in.Op == isa.OpHalt:
+			m.halted = true
+		}
+		if e.in.IsCall() {
+			m.Stats.Calls++
+		}
+		if e.in.IsReturn() {
+			m.Stats.Returns++
+		}
+		if e.newPhys != noReg {
+			old := m.amt[e.in.Rd]
+			m.amt[e.in.Rd] = e.newPhys
+			m.freeList = append(m.freeList, old)
+		}
+		if m.OnRetire != nil {
+			m.OnRetire(e.seq, e.pc, e.in)
+		}
+		if m.OnTrace != nil {
+			m.OnTrace(TraceRecord{
+				Seq: e.seq, PC: e.pc, Inst: e.in,
+				Fetch: e.fetchCyc, Rename: e.renameCyc, Issue: e.issueCyc,
+				Complete: e.done, Retire: m.cycle,
+			})
+		}
+		m.alHead = (m.alHead + 1) % len(m.al)
+		m.alCnt--
+		retired++
+		m.Stats.Insts++
+	}
+}
+
+// reissueAtHead re-executes a stalled load once it is non-squashable,
+// performing the deferred TLB fill and the precise ARF_pkru check (§V-C4).
+func (m *Machine) reissueAtHead(e *alEntry) {
+	e.reissued = true
+	e.stallTillHead = false
+	e.issueCyc = m.cycle
+	lat := 1
+	vpn := e.vaddr >> mem.PageBits
+	paddr, pte, err := m.AS.Translate(e.vaddr, mem.Read)
+	if err != nil {
+		m.finishFaulted(e, err.(*mem.Fault), lat)
+		return
+	}
+	if e.tlbDeferred {
+		lat += m.DTLB.WalkLatency()
+	}
+	m.DTLB.Fill(vpn, pte) // deferred TLB update happens now
+	e.paddr = paddr
+	e.pkey = int(pte.PKey)
+	if !m.PKRUState.ARF().Allows(e.pkey, false) {
+		m.finishFaulted(e, pkeyFault(e.vaddr, mem.Read, e.pkey), lat)
+		return
+	}
+	lat += m.Hier.LoadLatency(paddr)
+	m.writeDest(e, m.readMem(paddr, e.memBytes))
+	e.st = stIssued
+	e.done = m.cycle + uint64(lat)
+	m.loadHook(e, lat)
+}
+
+// reissueStoreAtHead resolves a suspect store that withheld its address
+// (the StallSuspectStores ablation): translate, fill the TLB, verify
+// against the committed PKRU, publish the address, and squash any younger
+// load that speculated past it.
+func (m *Machine) reissueStoreAtHead(e *alEntry) {
+	e.reissued = true
+	e.stallTillHead = false
+	e.issueCyc = m.cycle
+	paddr, pte, err := m.AS.Translate(e.vaddr, mem.Write)
+	if err != nil {
+		m.finishFaulted(e, err.(*mem.Fault), 1)
+		return
+	}
+	m.DTLB.Fill(e.vaddr>>mem.PageBits, pte)
+	e.paddr = paddr
+	e.pkey = int(pte.PKey)
+	if !m.PKRUState.ARF().Allows(e.pkey, true) {
+		m.finishFaulted(e, pkeyFault(e.vaddr, mem.Write, e.pkey), 1)
+		return
+	}
+	e.addrReady = true
+	e.st = stIssued
+	e.done = m.cycle + 1
+	m.checkMemOrder(0)
+}
+
+// commitStore writes the store to memory at retirement. For SpecMPK stores
+// that failed the PKRU Store Check (or missed the TLB), the precise
+// permission verification happens here. Returns false if a fault surfaced.
+func (m *Machine) commitStore(e *alEntry) bool {
+	if m.Cfg.Mode == ModeSpecMPK && e.noForward {
+		paddr, pte, err := m.AS.Translate(e.vaddr, mem.Write)
+		if err != nil {
+			e.fault = err.(*mem.Fault)
+			m.deliverFault(e)
+			return false
+		}
+		m.DTLB.Fill(e.vaddr>>mem.PageBits, pte)
+		e.paddr = paddr
+		e.pkey = int(pte.PKey)
+		if !m.PKRUState.ARF().Allows(e.pkey, true) {
+			e.fault = pkeyFault(e.vaddr, mem.Write, e.pkey)
+			m.deliverFault(e)
+			return false
+		}
+	}
+	m.Hier.StoreLatency(e.paddr)
+	if e.memBytes == 1 {
+		m.AS.Phys.Write8(e.paddr, byte(e.storeData))
+	} else {
+		m.AS.Phys.Write64(e.paddr, e.storeData)
+	}
+	return true
+}
+
+func (m *Machine) deliverFault(e *alEntry) {
+	m.Stats.Faults++
+	if e.fault.Kind == mem.FaultPkey {
+		m.Stats.PkeyFaults++
+	}
+	if m.FaultHandler != nil {
+		pkru := m.PKRUState.ARF()
+		action := m.FaultHandler(e.fault, &pkru)
+		m.PKRUState.SetARF(pkru)
+		switch action {
+		case FaultRetry:
+			m.flushAndRedirect(e.pc)
+			return
+		case FaultSkip:
+			m.Stats.Insts++
+			m.flushAndRedirect(e.pc + isa.InstBytes)
+			return
+		}
+	}
+	m.fault = e.fault
+}
+
+// flushAndRedirect empties the pipeline (fault recovery) and restarts fetch.
+func (m *Machine) flushAndRedirect(pc uint64) {
+	m.squashAfter(-1)
+	m.fq = m.fq[:0]
+	m.pc = pc
+	m.fetchStopped = false
+	m.fetchStallTo = 0
+	m.curICLine = 0
+	m.serialWait = false
+}

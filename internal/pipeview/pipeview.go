@@ -1,0 +1,85 @@
+// Package pipeview renders per-instruction pipeline diagrams (in the style
+// of gem5's pipeview / Konata) from the pipeline's trace records:
+//
+//	seq      pc        F..R---I..C.W  inst
+//
+// F fetch, R rename, I issue/execute, C complete, W retire ("written
+// back"); dots are in-flight wait cycles, dashes the rename-to-issue queue
+// wait. The serialized machine's WRPKRU drain and SpecMPK's head-replays
+// are immediately visible in the gaps.
+package pipeview
+
+import (
+	"fmt"
+	"strings"
+
+	"specmpk/internal/pipeline"
+)
+
+// Render draws the records against a shared time axis starting at the first
+// record's fetch cycle. maxWidth caps the diagram columns (0 = 100).
+func Render(recs []pipeline.TraceRecord, maxWidth int) string {
+	if len(recs) == 0 {
+		return "(no trace records)\n"
+	}
+	if maxWidth <= 0 {
+		maxWidth = 100
+	}
+	base := recs[0].Fetch
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle origin %d; F=fetch R=rename I=issue C=complete W=retire\n", base)
+	for _, r := range recs {
+		line := buildLine(r, base, maxWidth)
+		fmt.Fprintf(&b, "%6d  0x%06x  %s  %s\n", r.Seq, r.PC, line, r.Inst)
+	}
+	return b.String()
+}
+
+func buildLine(r pipeline.TraceRecord, base uint64, width int) string {
+	pos := func(c uint64) int {
+		if c < base {
+			return 0
+		}
+		return int(c - base)
+	}
+	f, rn, is, cp, w := pos(r.Fetch), pos(r.Rename), pos(r.Issue), pos(r.Complete), pos(r.Retire)
+	// Enforce monotonicity for display (squash replays can reorder issue
+	// versus the original rename on re-executed paths).
+	if rn < f {
+		rn = f
+	}
+	if is < rn {
+		is = rn
+	}
+	if cp < is {
+		cp = is
+	}
+	if w < cp {
+		w = cp
+	}
+	if w >= width {
+		// Scale the whole line into the window, keeping ordering.
+		scale := func(x int) int { return x * (width - 1) / w }
+		f, rn, is, cp, w = scale(f), scale(rn), scale(is), scale(cp), scale(w)
+	}
+	line := make([]byte, w+1)
+	for i := range line {
+		line[i] = ' '
+	}
+	for i := f; i < rn; i++ {
+		line[i] = '.'
+	}
+	for i := rn; i < is; i++ {
+		line[i] = '-'
+	}
+	for i := is; i < cp; i++ {
+		line[i] = '.'
+	}
+	// Markers last so they overwrite the fillers.
+	line[f] = 'F'
+	line[rn] = 'R'
+	line[is] = 'I'
+	line[cp] = 'C'
+	line[w] = 'W'
+	return string(line)
+}

@@ -1,0 +1,175 @@
+// Package textplot renders small terminal charts so cmd/specmpk-bench can
+// print the paper's figures as figures, not just tables: horizontal bar
+// charts for the normalized-IPC plots (Figs. 3/9/11) and a latency scatter
+// for the flush+reload probe (Fig. 13).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bars renders grouped horizontal bars. series maps a series name to one
+// value per label; series print in the order given by order. width is the
+// bar area in character cells.
+func Bars(title string, labels []string, order []string, series map[string][]float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := 0.0
+	for _, vals := range series {
+		for _, v := range vals {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	seriesW := 0
+	for _, s := range order {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (full bar = %.2f)\n", title, maxVal)
+	for i, l := range labels {
+		for si, s := range order {
+			vals := series[s]
+			if i >= len(vals) {
+				continue
+			}
+			name := ""
+			if si == 0 {
+				name = l
+			}
+			n := int(math.Round(vals[i] / maxVal * float64(width)))
+			if n < 0 {
+				n = 0
+			}
+			if n > width {
+				n = width
+			}
+			fmt.Fprintf(&b, "%-*s %-*s %s %.3f\n", labelW, name, seriesW, s,
+				strings.Repeat("█", n)+strings.Repeat("·", width-n), vals[i])
+		}
+	}
+	return b.String()
+}
+
+// Timeline renders a compact line chart of a metric sampled over time
+// (e.g. IPC per 1k-cycle interval), 8 rows tall.
+func Timeline(title string, samples []float64, width int) string {
+	if len(samples) == 0 {
+		return title + ": (no samples)\n"
+	}
+	if width <= 0 || width > len(samples) {
+		width = len(samples)
+	}
+	// Downsample by averaging buckets.
+	per := (len(samples) + width - 1) / width
+	pts := make([]float64, 0, width)
+	for i := 0; i < len(samples); i += per {
+		end := i + per
+		if end > len(samples) {
+			end = len(samples)
+		}
+		sum := 0.0
+		for _, v := range samples[i:end] {
+			sum += v
+		}
+		pts = append(pts, sum/float64(end-i))
+	}
+	maxV := 0.0
+	for _, v := range pts {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	const rows = 8
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max %.2f)\n", title, maxV)
+	for r := rows; r >= 1; r-- {
+		lo := float64(r-1) / rows * maxV
+		fmt.Fprintf(&b, "%6.2f |", float64(r)/rows*maxV)
+		for _, v := range pts {
+			if v > lo {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "       +%s\n", strings.Repeat("-", len(pts)))
+	return b.String()
+}
+
+// Latency renders a probe-latency scatter: one column per index bucket,
+// with hits (below threshold) marked. Exactly the shape of the paper's
+// Fig. 13.
+func Latency(title string, lats []int, threshold int, buckets int) string {
+	if buckets <= 0 || buckets > len(lats) {
+		buckets = len(lats)
+	}
+	maxLat := 1
+	for _, v := range lats {
+		if v > maxLat {
+			maxLat = v
+		}
+	}
+	const rows = 10
+	per := (len(lats) + buckets - 1) / buckets
+	// For each bucket keep the minimum latency (hits dominate).
+	mins := make([]int, buckets)
+	for i := range mins {
+		mins[i] = math.MaxInt
+		for j := i * per; j < (i+1)*per && j < len(lats); j++ {
+			if lats[j] < mins[i] {
+				mins[i] = lats[j]
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (y: latency 0..%d cycles, x: probe index, *: bucket min, !: cache hit)\n", title, maxLat)
+	for r := rows; r >= 1; r-- {
+		lo := (r - 1) * maxLat / rows
+		hi := r * maxLat / rows
+		fmt.Fprintf(&b, "%5d |", hi)
+		for _, v := range mins {
+			switch {
+			case v > lo && v <= hi && v < threshold:
+				b.WriteByte('!')
+			case v > lo && v <= hi:
+				b.WriteByte('*')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "      +%s\n", strings.Repeat("-", buckets))
+	// Index ruler every 32 buckets.
+	ruler := make([]byte, buckets)
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	for i := 0; i < buckets; i += 32 {
+		s := fmt.Sprintf("%d", i*per)
+		copy(ruler[i:], s)
+	}
+	fmt.Fprintf(&b, "       %s\n", string(ruler))
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarsBasic(t *testing.T) {
+	out := Bars("speedup", []string{"a", "bb"}, []string{"x", "y"},
+		map[string][]float64{"x": {1.0, 2.0}, "y": {0.5, 1.5}}, 20)
+	if !strings.Contains(out, "speedup") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + 2 labels x 2 series
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// The max value gets a full bar.
+	if !strings.Contains(out, strings.Repeat("█", 20)) {
+		t.Fatalf("max bar not full:\n%s", out)
+	}
+	// Values are printed.
+	if !strings.Contains(out, "2.000") || !strings.Contains(out, "0.500") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}
+
+func TestBarsClamps(t *testing.T) {
+	out := Bars("t", []string{"a"}, []string{"s"}, map[string][]float64{"s": {0}}, 10)
+	if !strings.Contains(out, strings.Repeat("·", 10)) {
+		t.Fatalf("zero bar should be empty:\n%s", out)
+	}
+	// Zero max must not divide by zero.
+	_ = Bars("t", []string{"a"}, []string{"s"}, map[string][]float64{"s": {}}, 10)
+}
+
+func TestLatencyScatter(t *testing.T) {
+	lats := make([]int, 256)
+	for i := range lats {
+		lats[i] = 200
+	}
+	lats[72] = 6
+	lats[101] = 21
+	out := Latency("fig13", lats, 120, 128)
+	if !strings.Contains(out, "!") {
+		t.Fatalf("hits not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("misses not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "fig13") {
+		t.Fatal("title")
+	}
+	// The hit rows are near the bottom (low latency) — the last data row
+	// before the axis must contain the '!' marks.
+	lines := strings.Split(out, "\n")
+	axis := 0
+	for i, l := range lines {
+		if strings.Contains(l, "+---") || strings.Contains(l, "+-") {
+			axis = i
+			break
+		}
+	}
+	if axis == 0 {
+		t.Fatalf("axis missing:\n%s", out)
+	}
+	if !strings.Contains(lines[axis-1], "!") {
+		t.Fatalf("hits should sit in the lowest band:\n%s", out)
+	}
+}
+
+func TestLatencyBucketsDefault(t *testing.T) {
+	out := Latency("t", []int{10, 20, 30}, 15, 0)
+	if out == "" {
+		t.Fatal("empty")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	out := Timeline("ipc", []float64{0.5, 1.0, 2.0, 1.5}, 4)
+	if !strings.Contains(out, "ipc") || !strings.Contains(out, "#") {
+		t.Fatalf("timeline:\n%s", out)
+	}
+	if Timeline("x", nil, 0) != "x: (no samples)\n" {
+		t.Fatal("empty")
+	}
+	// Downsampling path.
+	big := make([]float64, 1000)
+	for i := range big {
+		big[i] = float64(i % 7)
+	}
+	if out := Timeline("big", big, 50); !strings.Contains(out, "#") {
+		t.Fatalf("downsampled:\n%s", out)
+	}
+}

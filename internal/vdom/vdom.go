@@ -1,0 +1,208 @@
+// Package vdom implements protection-key virtualization in the style of
+// libmpk (Park et al., ATC'19) and VDom (Yuan et al., ASPLOS'23), the
+// related-work direction the paper discusses in §III-B/§X-A: applications
+// such as per-session key isolation in OpenSSL need more protection domains
+// than MPK's 16 hardware keys, so a software layer multiplexes many
+// *virtual* domains onto the hardware keys, evicting and re-tagging pages
+// on demand. The paper cites a 4.2 % overhead for exactly this thrashing;
+// this package reproduces the mechanism and its cost model, and the
+// repository's benches sweep domain counts to show the cliff at 16.
+package vdom
+
+import (
+	"fmt"
+
+	"specmpk/internal/mem"
+	"specmpk/internal/mpk"
+)
+
+// EvictedKey is the reserved hardware key carried by pages whose virtual
+// domain currently has no hardware key. Software keeps it permanently
+// access-disabled, so touching an evicted domain faults and the manager can
+// re-attach it (libmpk's "lazy" scheme).
+const EvictedKey = mpk.NumKeys - 1
+
+// Stats counts virtualization events.
+type Stats struct {
+	Allocs     uint64
+	Attaches   uint64
+	Binds      uint64 // domain got a hardware key
+	Evictions  uint64 // domain lost its hardware key
+	PageRetags uint64 // page-table key rewrites (the expensive part)
+}
+
+// Cost models the virtualization overhead in cycles: every bind/evict pair
+// is a syscall (the kernel owns the page table) plus one PTE rewrite per
+// page, and the affected pages' TLB entries must be shot down.
+type Cost struct {
+	SyscallCycles int
+	PerPageCycles int
+}
+
+// DefaultCost matches the isolation package's syscall estimate.
+func DefaultCost() Cost { return Cost{SyscallCycles: 1500, PerPageCycles: 40} }
+
+// Cycles estimates the cycles spent on virtualization so far.
+func (c Cost) Cycles(s Stats) uint64 {
+	return (s.Binds+s.Evictions)*uint64(c.SyscallCycles) + s.PageRetags*uint64(c.PerPageCycles)
+}
+
+// Domain is one virtual protection domain.
+type Domain struct {
+	ID    int
+	key   int // hardware key, or -1 when evicted
+	pages []pageRange
+}
+
+type pageRange struct {
+	base, size uint64
+	prot       mem.Prot
+}
+
+// Key returns the domain's current hardware key (-1 when evicted).
+func (d *Domain) Key() int { return d.key }
+
+// Pages returns the number of pages attached to the domain.
+func (d *Domain) Pages() int {
+	n := 0
+	for _, r := range d.pages {
+		n += int(r.size / mem.PageSize)
+	}
+	return n
+}
+
+// Manager multiplexes virtual domains onto the hardware keys.
+type Manager struct {
+	as      *mem.AddressSpace
+	domains []*Domain
+	keyOf   [mpk.NumKeys]*Domain // hardware key -> bound domain
+	tick    uint64
+	lastUse [mpk.NumKeys]uint64
+	Stats   Stats
+}
+
+// New builds a manager over the address space. Hardware keys 1..EvictedKey-1
+// are available for virtual domains; key 0 stays the default key and
+// EvictedKey is reserved.
+func New(as *mem.AddressSpace) (*Manager, error) {
+	m := &Manager{as: as}
+	// Reserve every hardware key with the kernel so nothing else takes them.
+	for k := 1; k < mpk.NumKeys; k++ {
+		got, err := as.PkeyAlloc()
+		if err != nil {
+			return nil, fmt.Errorf("vdom: reserving keys: %v", err)
+		}
+		if got != k {
+			return nil, fmt.Errorf("vdom: expected key %d, got %d", k, got)
+		}
+	}
+	return m, nil
+}
+
+// HardwareKeys returns how many keys are available for virtual domains.
+func (m *Manager) HardwareKeys() int { return EvictedKey - 1 }
+
+// CreateDomain allocates a new virtual domain (unbounded count — that is
+// the point).
+func (m *Manager) CreateDomain() *Domain {
+	d := &Domain{ID: len(m.domains), key: -1}
+	m.domains = append(m.domains, d)
+	m.Stats.Allocs++
+	return d
+}
+
+// Attach associates a page range with the domain. Pages start evicted
+// (tagged with the reserved key) until the domain is bound.
+func (m *Manager) Attach(d *Domain, base, size uint64, prot mem.Prot) error {
+	if err := m.as.PkeyMprotect(base, size, prot, m.tagFor(d)); err != nil {
+		return err
+	}
+	d.pages = append(d.pages, pageRange{base: base, size: size, prot: prot})
+	m.Stats.Attaches++
+	if d.key < 0 {
+		m.Stats.PageRetags += size / mem.PageSize
+	}
+	return nil
+}
+
+func (m *Manager) tagFor(d *Domain) int {
+	if d.key >= 0 {
+		return d.key
+	}
+	return EvictedKey
+}
+
+// Bind ensures the domain holds a hardware key, evicting the
+// least-recently-used bound domain if every key is taken, and returns the
+// key. Re-tagging the evicted and incoming domains' pages is the measured
+// cost.
+func (m *Manager) Bind(d *Domain) (int, error) {
+	m.tick++
+	if d.key >= 0 {
+		m.lastUse[d.key] = m.tick
+		return d.key, nil
+	}
+	key := -1
+	for k := 1; k < EvictedKey; k++ {
+		if m.keyOf[k] == nil {
+			key = k
+			break
+		}
+	}
+	if key < 0 {
+		// Evict the LRU domain.
+		for k := 1; k < EvictedKey; k++ {
+			if key < 0 || m.lastUse[k] < m.lastUse[key] {
+				key = k
+			}
+		}
+		victim := m.keyOf[key]
+		if err := m.retag(victim, EvictedKey); err != nil {
+			return -1, err
+		}
+		victim.key = -1
+		m.keyOf[key] = nil
+		m.Stats.Evictions++
+	}
+	if err := m.retag(d, key); err != nil {
+		return -1, err
+	}
+	d.key = key
+	m.keyOf[key] = d
+	m.lastUse[key] = m.tick
+	m.Stats.Binds++
+	return key, nil
+}
+
+func (m *Manager) retag(d *Domain, key int) error {
+	for _, r := range d.pages {
+		if err := m.as.PkeyMprotect(r.base, r.size, r.prot, key); err != nil {
+			return err
+		}
+		m.Stats.PageRetags += r.size / mem.PageSize
+	}
+	return nil
+}
+
+// Protect binds the domain and returns the PKRU with the domain's key set
+// to perm (and the reserved key always access-disabled). This is the
+// virtual-domain analogue of pkey_set.
+func (m *Manager) Protect(d *Domain, perm mpk.Perm, pkru mpk.PKRU) (mpk.PKRU, error) {
+	key, err := m.Bind(d)
+	if err != nil {
+		return pkru, err
+	}
+	return pkru.
+		WithKey(key, perm).
+		WithKey(EvictedKey, mpk.Perm{AD: true, WD: true}), nil
+}
+
+// Access performs a PKRU-checked access through the domain (test and demo
+// convenience — the simulators perform their own checks).
+func (m *Manager) Access(d *Domain, vaddr uint64, acc mem.AccessKind, pkru mpk.PKRU) error {
+	_, _, err := m.as.Access(vaddr, acc, pkru)
+	return err
+}
+
+// DomainFor returns the bound domain of a hardware key (nil if free).
+func (m *Manager) DomainFor(key int) *Domain { return m.keyOf[key] }

@@ -1,0 +1,206 @@
+package vdom
+
+import (
+	"errors"
+	"testing"
+
+	"specmpk/internal/mem"
+	"specmpk/internal/mpk"
+)
+
+func setup(t *testing.T, nDomains int) (*Manager, []*Domain) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	m, err := New(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds []*Domain
+	for i := 0; i < nDomains; i++ {
+		base := uint64(0x40000000 + i*0x10000)
+		as.Map(base, 2*mem.PageSize, mem.ProtRW)
+		d := m.CreateDomain()
+		if err := m.Attach(d, base, 2*mem.PageSize, mem.ProtRW); err != nil {
+			t.Fatal(err)
+		}
+		ds = append(ds, d)
+	}
+	return m, ds
+}
+
+func TestBindAssignsDistinctKeys(t *testing.T) {
+	m, ds := setup(t, 5)
+	seen := map[int]bool{}
+	for _, d := range ds {
+		k, err := m.Bind(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k <= 0 || k >= EvictedKey {
+			t.Fatalf("key %d out of range", k)
+		}
+		if seen[k] {
+			t.Fatalf("key %d reused while free keys remain", k)
+		}
+		seen[k] = true
+		if m.DomainFor(k) != d {
+			t.Fatal("reverse map")
+		}
+	}
+	if m.Stats.Binds != 5 || m.Stats.Evictions != 0 {
+		t.Fatalf("stats %+v", m.Stats)
+	}
+}
+
+func TestBindIsIdempotentAndRefreshesLRU(t *testing.T) {
+	m, ds := setup(t, 2)
+	k1, _ := m.Bind(ds[0])
+	k2, _ := m.Bind(ds[0])
+	if k1 != k2 {
+		t.Fatal("rebind must return the same key")
+	}
+	if m.Stats.Binds != 1 {
+		t.Fatal("rebind must not count as a new bind")
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	m, ds := setup(t, HardwareKeysForTest()+2)
+	// Bind every key.
+	for i := 0; i < m.HardwareKeys(); i++ {
+		if _, err := m.Bind(ds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch domain 0 so domain 1 is LRU.
+	m.Bind(ds[0])
+	over, err := m.Bind(ds[m.HardwareKeys()])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds[1].Key() != -1 {
+		t.Fatal("LRU domain 1 should have been evicted")
+	}
+	if over <= 0 {
+		t.Fatal("overflow domain must get a key")
+	}
+	if m.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d", m.Stats.Evictions)
+	}
+	// Evicted domain's pages carry the reserved key.
+	pte, _ := m.asLookup(ds[1])
+	if int(pte.PKey) != EvictedKey {
+		t.Fatalf("evicted pages tagged %d", pte.PKey)
+	}
+	// Re-binding the evicted domain works and retags back.
+	if _, err := m.Bind(ds[1]); err != nil {
+		t.Fatal(err)
+	}
+	pte, _ = m.asLookup(ds[1])
+	if int(pte.PKey) == EvictedKey {
+		t.Fatal("rebound domain still tagged as evicted")
+	}
+}
+
+// asLookup exposes the first page's PTE for assertions.
+func (m *Manager) asLookup(d *Domain) (mem.PTE, bool) {
+	return m.as.Lookup(d.pages[0].base)
+}
+
+// HardwareKeysForTest mirrors Manager.HardwareKeys for setup sizing.
+func HardwareKeysForTest() int { return EvictedKey - 1 }
+
+func TestProtectProducesUsablePKRU(t *testing.T) {
+	m, ds := setup(t, 2)
+	pkru, err := m.Protect(ds[0], mpk.Perm{}, mpk.AllowAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accessible through its own domain.
+	if err := m.Access(ds[0], ds[0].pages[0].base, mem.Read, pkru); err != nil {
+		t.Fatalf("own domain access: %v", err)
+	}
+	// The reserved key must always be disabled.
+	if !pkru.AccessDisabled(EvictedKey) {
+		t.Fatal("reserved key must stay access-disabled")
+	}
+	// A write-disabled Protect blocks stores.
+	pkru, err = m.Protect(ds[1], mpk.Perm{WD: true}, pkru)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Access(ds[1], ds[1].pages[0].base, mem.Write, pkru); err == nil {
+		t.Fatal("write under WD must fault")
+	}
+}
+
+func TestEvictedDomainFaultsUntilRebound(t *testing.T) {
+	m, ds := setup(t, HardwareKeysForTest()+1)
+	pkru := mpk.AllowAll.WithKey(EvictedKey, mpk.Perm{AD: true, WD: true})
+	for i := 0; i <= m.HardwareKeys(); i++ {
+		var err error
+		pkru, err = m.Protect(ds[i], mpk.Perm{}, pkru)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Domain 0 was evicted by the overflow bind; its pages must fault even
+	// under a permissive PKRU because they carry the reserved key.
+	if ds[0].Key() != -1 {
+		t.Fatal("domain 0 should be evicted")
+	}
+	err := m.Access(ds[0], ds[0].pages[0].base, mem.Read, pkru)
+	var f *mem.Fault
+	if !errors.As(err, &f) || f.Kind != mem.FaultPkey || f.PKey != EvictedKey {
+		t.Fatalf("evicted access: %v", err)
+	}
+}
+
+func TestCostModelScalesWithThrashing(t *testing.T) {
+	cost := DefaultCost()
+	// Fits in hardware: bind 8 domains once, access round-robin — no
+	// evictions, constant cost.
+	m, ds := setup(t, 8)
+	for round := 0; round < 50; round++ {
+		for _, d := range ds {
+			if _, err := m.Bind(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fitCycles := cost.Cycles(m.Stats)
+	if m.Stats.Evictions != 0 {
+		t.Fatal("8 domains must not thrash")
+	}
+
+	// Twice the hardware keys: round-robin LRU thrashes every access.
+	m2, ds2 := setup(t, 2*HardwareKeysForTest())
+	for round := 0; round < 50; round++ {
+		for _, d := range ds2 {
+			if _, err := m2.Bind(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	thrashCycles := cost.Cycles(m2.Stats)
+	if m2.Stats.Evictions == 0 {
+		t.Fatal("28 domains must thrash")
+	}
+	if thrashCycles < 20*fitCycles {
+		t.Fatalf("thrashing cost %d not clearly above fitting cost %d",
+			thrashCycles, fitCycles)
+	}
+	if m2.Stats.PageRetags == 0 {
+		t.Fatal("thrashing must retag pages")
+	}
+}
+
+func TestPagesAccounting(t *testing.T) {
+	m, ds := setup(t, 1)
+	if ds[0].Pages() != 2 {
+		t.Fatalf("pages = %d", ds[0].Pages())
+	}
+	if m.Stats.Attaches != 1 {
+		t.Fatal("attach accounting")
+	}
+}

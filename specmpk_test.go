@@ -1,0 +1,150 @@
+package specmpk
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	prog, err := ParseAsm(`
+main:
+    movi t0, 6
+    movi t1, 1
+loop:
+    mul t1, t1, t0
+    addi t0, t0, -1
+    bne t0, zero, loop
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ArchReg(10); got != 720 {
+		t.Fatalf("6! = %d", got)
+	}
+	if m.Stats.IPC() <= 0 {
+		t.Fatal("IPC must be positive")
+	}
+}
+
+func TestBuilderFlow(t *testing.T) {
+	b := NewProgramBuilder(0x10000)
+	f := b.Func("main")
+	f.Movi(9, 41).Addi(9, 9, 1).Halt()
+	prog, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewReference(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Threads[0].Regs[9] != 42 {
+		t.Fatal("reference result")
+	}
+}
+
+func TestRunWorkloadAllModes(t *testing.T) {
+	for _, mode := range []Mode{Serialized, NonSecure, SpecMPK} {
+		res, err := RunWorkload("557.xz_r", mode, Full)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.IPC() <= 0 || res.Stats.Insts == 0 {
+			t.Fatalf("%v: empty result", mode)
+		}
+		if res.Workload != "557.xz_r" || res.Mode != mode {
+			t.Fatalf("%v: result metadata", mode)
+		}
+	}
+}
+
+func TestRunWorkloadUnknown(t *testing.T) {
+	_, err := RunWorkload("999.nope", SpecMPK, Full)
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("want unknown-workload error, got %v", err)
+	}
+}
+
+func TestWorkloadsCatalog(t *testing.T) {
+	if len(Workloads()) < 16 {
+		t.Fatal("catalogue")
+	}
+	w, ok := WorkloadByName("520.omnetpp_r")
+	if !ok || w.Name != "520.omnetpp_r" {
+		t.Fatal("lookup")
+	}
+}
+
+// TestPublicConfigKnobs drives the research knobs through the public API.
+func TestPublicConfigKnobs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = SpecMPK
+	cfg.MemDepSpeculation = true
+	cfg.NoTLBDeferral = true
+	cfg.ROBPkruSize = 4
+	res, err := RunWorkloadConfig(cfg, "557.xz_r", Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC() <= 0 {
+		t.Fatal("empty run")
+	}
+}
+
+// TestReferenceMatchesMachine: the public Reference and Machine agree on a
+// catalogue workload's architectural result.
+func TestReferenceMatchesMachine(t *testing.T) {
+	w, _ := WorkloadByName("548.exchange2_r")
+	prog, err := w.Build(Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewReference(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(5_000_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 32; r++ {
+		if m.ArchReg(r) != ref.Threads[0].Regs[r] {
+			t.Fatalf("r%d: machine %#x vs reference %#x", r, m.ArchReg(r), ref.Threads[0].Regs[r])
+		}
+	}
+}
+
+// TestRdpkruVariantPublic: the §V-C6 variant is reachable via the API.
+func TestRdpkruVariantPublic(t *testing.T) {
+	res, err := RunWorkload("557.xz_r", SpecMPK, NopStub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Wrpkru != 0 {
+		t.Fatal("nop variant ran WRPKRU")
+	}
+	res, err = RunWorkload("557.xz_r", SpecMPK, RdpkruStub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rdpkru == 0 {
+		t.Fatal("rdpkru variant ran no RDPKRU")
+	}
+}
