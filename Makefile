@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet race bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# The tier-1 gate: what CI runs.
+check: build vet race
+
+clean:
+	$(GO) clean ./...

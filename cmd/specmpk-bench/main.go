@@ -72,6 +72,8 @@ experiments:
   window   instruction-window sweep on the densest workload (extension)
   pkrusafe unsafe-library heap isolation overhead (extension; Section III-B)
   rdpkru   pkey_set read-modify-write vs load-immediate updates (Section V-C6)
+  stats    unified metrics registry + CPI-stack per workload×mode (with -json:
+           every pipeline/cache/tlb/bpred metric per row)
   all      everything above
 
 flags:
@@ -157,10 +159,16 @@ func run(r experiments.Runner, name string) error {
 			return err
 		}
 		fmt.Print(experiments.RenderRdpkru(rows))
+	case "stats":
+		rows, err := experiments.StatsRows(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderStats(rows))
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4",
 			"fig9", "fig10", "fig11", "fig13", "hwcost", "vdom", "window",
-			"pkrusafe", "rdpkru"} {
+			"pkrusafe", "rdpkru", "stats"} {
 			if err := run(r, e); err != nil {
 				return err
 			}

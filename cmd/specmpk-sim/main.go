@@ -5,10 +5,24 @@
 //
 //	specmpk-sim -workload 520.omnetpp_r [-mode specmpk] [-variant full]
 //	specmpk-sim -asm prog.s [-mode serialized]
+//	specmpk-sim -workload 520.omnetpp_r -stats-out s.json -trace-out t.jsonl
 //	specmpk-sim -list
+//
+// Observability outputs:
+//
+//	-stats-out FILE       unified metrics registry as JSON (all pipeline,
+//	                      cache, TLB and branch-predictor metrics)
+//	-stats-interval N     with -stats-out: JSONL of per-N-cycle snapshot
+//	                      deltas (interval IPC etc.), final cumulative last
+//	-prom-out FILE        the same registry in Prometheus text exposition
+//	-trace-out FILE       structured event trace (squash, wrpkru_retire,
+//	                      head_replay, no_forward, tlb_defer) as JSONL
+//	-konata-out FILE      per-instruction stage timeline in the Kanata format
+//	                      (loadable by Konata / gem5-o3-pipeview viewers)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,7 +31,9 @@ import (
 	"specmpk/internal/isa"
 	"specmpk/internal/pipeline"
 	"specmpk/internal/pipeview"
+	"specmpk/internal/stats"
 	"specmpk/internal/textplot"
+	"specmpk/internal/trace"
 	"specmpk/internal/workload"
 )
 
@@ -31,9 +47,17 @@ func main() {
 		maxCyc   = flag.Uint64("cycles", 500_000_000, "cycle budget")
 		list     = flag.Bool("list", false, "list catalogue workloads and exit")
 		showDisq = flag.Bool("disasm", false, "print the program disassembly before running")
-		trace    = flag.Uint64("trace", 0, "print the first N retired instructions")
+		traceN   = flag.Uint64("trace", 0, "print the first N retired instructions")
 		pview    = flag.Uint64("pipeview", 0, "print a pipeline diagram for the first N retired instructions")
 		timeline = flag.Bool("timeline", false, "print an IPC-over-time chart (1k-cycle samples)")
+
+		statsOut      = flag.String("stats-out", "", "write the metrics registry as JSON to this file")
+		statsInterval = flag.Uint64("stats-interval", 0, "with -stats-out: emit JSONL snapshot deltas every N cycles")
+		promOut       = flag.String("prom-out", "", "write the metrics registry in Prometheus text format to this file")
+		traceOut      = flag.String("trace-out", "", "write the microarchitectural event trace as JSONL to this file")
+		traceBuf      = flag.Int("trace-buf", 1<<20, "event ring-buffer capacity for -trace-out (oldest dropped)")
+		konataOut     = flag.String("konata-out", "", "write a Kanata-format pipeline trace to this file")
+		konataN       = flag.Uint64("konata-n", 10_000, "retired instructions captured for -konata-out")
 	)
 	flag.Parse()
 
@@ -76,25 +100,42 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *trace > 0 {
+	if *traceN > 0 {
 		count := uint64(0)
 		m.OnRetire = func(seq, pc uint64, in isa.Inst) {
-			if count < *trace {
+			if count < *traceN {
 				fmt.Printf("retire %6d  cyc %8d  0x%06x  %s\n", seq, m.Cycle(), pc, in)
 			}
 			count++
 		}
 	}
+	if *traceOut != "" {
+		if *traceBuf <= 0 {
+			fatal(fmt.Errorf("-trace-buf must be positive (got %d)", *traceBuf))
+		}
+		m.Events = trace.NewRing(*traceBuf)
+	}
+	// One stage-record capture feeds both the pipeview renderer and the
+	// Konata exporter; keep as many records as the larger consumer needs.
+	keepRecs := *pview
+	if *konataOut != "" && *konataN > keepRecs {
+		keepRecs = *konataN
+	}
 	var recs []pipeline.TraceRecord
-	if *pview > 0 {
+	if keepRecs > 0 {
 		m.OnTrace = func(r pipeline.TraceRecord) {
-			if uint64(len(recs)) < *pview {
+			if uint64(len(recs)) < keepRecs {
 				recs = append(recs, r)
 			}
 		}
 	}
+
+	reg := m.StatsRegistry()
 	var runErr error
-	if *timeline {
+	switch {
+	case *statsInterval > 0 && *statsOut != "":
+		runErr = runWithIntervals(m, reg, *statsOut, *statsInterval, *maxCyc)
+	case *timeline:
 		const sample = 1000
 		var ipcs []float64
 		lastI := uint64(0)
@@ -107,16 +148,91 @@ func main() {
 			lastI = m.Stats.Insts
 		}
 		fmt.Print(textplot.Timeline("IPC over time (1k-cycle samples)", ipcs, 100))
-	} else {
+	default:
 		runErr = m.Run(*maxCyc)
 	}
+
 	if *pview > 0 {
-		fmt.Print(pipeview.Render(recs, 100))
+		n := recs
+		if uint64(len(n)) > *pview {
+			n = n[:*pview]
+		}
+		fmt.Print(pipeview.Render(n, 100))
+	}
+	if *konataOut != "" {
+		if err := writeKonata(*konataOut, recs, *konataN); err != nil {
+			fatal(err)
+		}
+	}
+	if *statsOut != "" && *statsInterval == 0 {
+		if err := writeFile(*statsOut, func(f *os.File) error {
+			return reg.Snapshot().WriteJSON(f)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *promOut != "" {
+		if err := writeFile(*promOut, func(f *os.File) error {
+			return reg.Snapshot().WritePrometheus(f)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(f *os.File) error {
+			return trace.WriteJSONL(f, m.Events.Events())
+		}); err != nil {
+			fatal(err)
+		}
+		if d := m.Events.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "specmpk-sim: event ring overflowed; oldest %d events dropped (raise -trace-buf)\n", d)
+		}
 	}
 	printStats(m, cfg)
 	if runErr != nil {
 		fatal(runErr)
 	}
+}
+
+// intervalRow is one line of the -stats-interval JSONL stream.
+type intervalRow struct {
+	Cycle   uint64         `json:"cycle"`
+	Final   bool           `json:"final,omitempty"`
+	Metrics map[string]any `json:"metrics"`
+}
+
+// runWithIntervals advances the machine in interval-sized chunks, writing a
+// JSONL line per chunk with that interval's metric deltas (rate formulas are
+// re-evaluated over the delta, so pipeline.ipc is the interval IPC), and a
+// final cumulative snapshot marked "final".
+func runWithIntervals(m *pipeline.Machine, reg *stats.Registry, path string, interval, maxCyc uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	prev := reg.Snapshot()
+	var runErr error
+	for m.Cycle() < maxCyc && !m.Halted() && m.Fault() == nil && runErr == nil {
+		next := m.Cycle() + interval
+		if next > maxCyc {
+			next = maxCyc
+		}
+		runErr = m.RunInsts(^uint64(0), next)
+		if runErr == pipeline.ErrCycleLimit {
+			runErr = nil // just the sampling boundary
+		}
+		delta := reg.DeltaSince(prev)
+		prev = reg.Snapshot()
+		if err := enc.Encode(intervalRow{Cycle: m.Cycle(), Metrics: delta.Flat()}); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(intervalRow{Cycle: m.Cycle(), Final: true, Metrics: reg.Snapshot().Flat()}); err != nil {
+		return err
+	}
+	return runErr
 }
 
 func buildProgram(wl, asmFile, variant string) (*asm.Program, error) {
@@ -152,23 +268,40 @@ func buildProgram(wl, asmFile, variant string) (*asm.Program, error) {
 	return nil, fmt.Errorf("need -workload or -asm (or -list)")
 }
 
+func writeKonata(path string, recs []pipeline.TraceRecord, n uint64) error {
+	if uint64(len(recs)) > n {
+		recs = recs[:n]
+	}
+	srs := make([]trace.StageRecord, len(recs))
+	for i, r := range recs {
+		srs[i] = trace.StageRecord{
+			Seq: r.Seq, PC: r.PC, Disasm: r.Inst.String(),
+			Fetch: r.Fetch, Rename: r.Rename, Issue: r.Issue,
+			Complete: r.Complete, Retire: r.Retire,
+		}
+	}
+	return writeFile(path, func(f *os.File) error {
+		return trace.WriteKonata(f, srs)
+	})
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printStats dumps the full unified registry — every pipeline, cache, TLB
+// and branch-predictor metric — instead of a hand-picked subset.
 func printStats(m *pipeline.Machine, cfg pipeline.Config) {
-	s := m.Stats
-	fmt.Printf("mode               %v (ROB_pkru=%d)\n", cfg.Mode, cfg.ROBPkruSize)
-	fmt.Printf("cycles             %d\n", s.Cycles)
-	fmt.Printf("instructions       %d\n", s.Insts)
-	fmt.Printf("IPC                %.3f\n", s.IPC())
-	fmt.Printf("branches           %d (%.2f%% mispredicted)\n", s.Branches, 100*s.MispredictRate())
-	fmt.Printf("loads/stores       %d / %d (%d forwarded)\n", s.Loads, s.Stores, s.LoadsForwarded)
-	fmt.Printf("wrpkru             %d (%.2f per kinst)\n", s.Wrpkru, s.WrpkruPerKilo())
-	fmt.Printf("rename stalls      %d cycles (%d serialize, %d ROB_pkru-full)\n",
-		s.RenameStallCycles, s.SerializeStallCycles, s.PkruFullStallCycles)
-	fmt.Printf("pkru load stalls   %d (head replays), %d no-forward stores, %d blocked loads\n",
-		s.LoadsStalledTillHead, s.StoresNoForward, s.ForwardBlockedLoads)
-	fmt.Printf("L1D                %d hits, %d misses (%.2f%%)\n",
-		m.Hier.L1D.Stats.Hits, m.Hier.L1D.Stats.Misses, 100*m.Hier.L1D.Stats.MissRate())
-	fmt.Printf("DTLB               %d hits, %d misses (%.2f%%)\n",
-		m.DTLB.Stats.Hits, m.DTLB.Stats.Misses, 100*m.DTLB.Stats.MissRate())
+	fmt.Printf("mode %v (ROB_pkru=%d)\n", cfg.Mode, cfg.ROBPkruSize)
+	m.StatsRegistry().Snapshot().WriteText(os.Stdout)
 	if f := m.Fault(); f != nil {
 		fmt.Printf("fault              %v\n", f)
 	}

@@ -33,6 +33,11 @@ type TAGE struct {
 
 	Lookups     uint64
 	Mispredicts uint64
+	// BaseProvides counts predictions served by the bimodal base table;
+	// TableProvides[i] counts predictions served by tagged table i. They sum
+	// to Lookups, attributing each prediction to the component that made it.
+	BaseProvides  uint64
+	TableProvides [numTagged]uint64
 }
 
 // NewTAGE returns a zeroed predictor.
@@ -105,6 +110,11 @@ func (t *TAGE) Predict(pc uint64) (bool, DirState) {
 		}
 	}
 	st.Pred = pred
+	if st.provider >= 0 {
+		t.TableProvides[st.provider]++
+	} else {
+		t.BaseProvides++
+	}
 	return pred, st
 }
 
@@ -211,6 +221,9 @@ type BTB struct {
 
 	Lookups uint64
 	Hits    uint64
+	// Mispredicts counts indirect-target mispredictions charged to the BTB
+	// (resolved by the pipeline at branch resolution).
+	Mispredicts uint64
 }
 
 type btbEntry struct {
@@ -259,6 +272,13 @@ type RAS struct {
 	stack [MaxRAS]uint64
 	size  int
 	top   int // index of the most recent push
+
+	Pushes   uint64
+	Pops     uint64
+	Restores uint64
+	// Mispredicts counts return-target mispredictions charged to the RAS
+	// (resolved by the pipeline at branch resolution).
+	Mispredicts uint64
 }
 
 // RASCheckpoint snapshots the stack for exact recovery.
@@ -282,12 +302,14 @@ func (r *RAS) Checkpoint() RASCheckpoint {
 
 // Push records a return address (at a call).
 func (r *RAS) Push(addr uint64) {
+	r.Pushes++
 	r.top = (r.top + 1) % r.size
 	r.stack[r.top] = addr
 }
 
 // Pop predicts the target of a return.
 func (r *RAS) Pop() uint64 {
+	r.Pops++
 	addr := r.stack[r.top]
 	r.top--
 	if r.top < 0 {
@@ -298,6 +320,7 @@ func (r *RAS) Pop() uint64 {
 
 // Restore rewinds to a checkpoint taken before the squashed region.
 func (r *RAS) Restore(cp RASCheckpoint) {
+	r.Restores++
 	r.top = cp.Top
 	r.stack = cp.Stack
 }

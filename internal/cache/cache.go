@@ -9,7 +9,12 @@
 // measures.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"specmpk/internal/stats"
+)
 
 // Stats accumulates per-cache access counts.
 type Stats struct {
@@ -320,6 +325,34 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		L3:  l3,
 		Mem: mem,
 	}
+}
+
+// Register publishes one level's counters under prefix ("cache.l2").
+func (c *Cache) Register(r *stats.Registry, prefix string) {
+	r.Counter(prefix+".hits", "demand hits", func() uint64 { return c.Stats.Hits })
+	r.Counter(prefix+".misses", "demand misses", func() uint64 { return c.Stats.Misses })
+	r.Counter(prefix+".evictions", "lines evicted", func() uint64 { return c.Stats.Evictions })
+	r.Counter(prefix+".writebacks", "dirty victims written back", func() uint64 { return c.Stats.Writebacks })
+	r.Counter(prefix+".flushes", "lines removed by CLFLUSH", func() uint64 { return c.Stats.Flushes })
+	r.Counter(prefix+".prefetches", "lines installed by the prefetcher", func() uint64 { return c.Stats.Prefetches })
+	r.Formula(prefix+".miss_rate", "misses per demand access",
+		func(get func(string) float64) float64 {
+			acc := get(prefix+".hits") + get(prefix+".misses")
+			if acc == 0 {
+				return 0
+			}
+			return get(prefix+".misses") / acc
+		})
+}
+
+// Register publishes every level of the hierarchy plus the DRAM backend
+// under prefix ("cache"), using the levels' configured names lowercased
+// ("cache.l1d.misses", "cache.dram.accesses").
+func (h *Hierarchy) Register(r *stats.Registry, prefix string) {
+	for _, c := range []*Cache{h.L1I, h.L1D, h.L2, h.L3} {
+		c.Register(r, prefix+"."+strings.ToLower(c.name))
+	}
+	r.Counter(prefix+".dram.accesses", "DRAM accesses", func() uint64 { return h.Mem.Accesses })
 }
 
 // LoadLatency times a data load at paddr.

@@ -54,6 +54,8 @@ func RowsFor(r Runner, name string) (any, error) {
 		return WindowSweep("")
 	case "pkrusafe":
 		return PKRUSafe()
+	case "stats":
+		return StatsRows(r)
 	}
 	return nil, fmt.Errorf("experiments: no JSON rows for %q", name)
 }

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"specmpk/internal/pipeline"
+	"specmpk/internal/workload"
+)
+
+// StatsRow is one workload×mode row of the `stats` experiment: the machine's
+// full unified metrics registry plus the CPI-stack decomposition, the
+// machine-readable counterpart of every other experiment's derived numbers.
+type StatsRow struct {
+	Workload string            `json:"workload"`
+	Mode     string            `json:"mode"`
+	Cycles   uint64            `json:"cycles"`
+	Insts    uint64            `json:"insts"`
+	IPC      float64           `json:"ipc"`
+	CPI      pipeline.CPIStack `json:"cpiStack"`
+	Metrics  map[string]any    `json:"metrics"`
+}
+
+// StatsModes are the microarchitectures the stats experiment sweeps.
+var StatsModes = []pipeline.Mode{
+	pipeline.ModeSerialized, pipeline.ModeNonSecure, pipeline.ModeSpecMPK,
+}
+
+// StatsRows runs every catalogue workload under each microarchitecture and
+// captures the unified registry per run. It verifies the CPI-stack invariant
+// (buckets sum exactly to the cycle count) on every row and fails loudly if
+// the accounting ever leaks a cycle.
+func StatsRows(r Runner) ([]StatsRow, error) {
+	cat := r.catalog()
+	rows := make([]StatsRow, len(cat)*len(StatsModes))
+	err := forEach(r.workers(), indices(rows), func(i int) error {
+		p := cat[i/len(StatsModes)]
+		mode := StatsModes[i%len(StatsModes)]
+		prog, err := p.Build(workload.VariantFull)
+		if err != nil {
+			return err
+		}
+		m, err := pipeline.New(modeConfig(mode), prog)
+		if err != nil {
+			return err
+		}
+		if err := m.Run(500_000_000); err != nil {
+			return fmt.Errorf("%s/%v: %w", p.Name, mode, err)
+		}
+		s := m.Stats
+		if s.CPI.Sum() != s.Cycles {
+			return fmt.Errorf("stats: %s/%v: CPI stack sums to %d, want %d cycles",
+				p.Name, mode, s.CPI.Sum(), s.Cycles)
+		}
+		rows[i] = StatsRow{
+			Workload: label(p),
+			Mode:     mode.String(),
+			Cycles:   s.Cycles,
+			Insts:    s.Insts,
+			IPC:      s.IPC(),
+			CPI:      s.CPI,
+			Metrics:  m.StatsRegistry().Snapshot().Flat(),
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// RenderStats prints the CPI-stack decomposition per workload×mode as bucket
+// shares — the attribution view of the Serialized-vs-SpecMPK gap.
+func RenderStats(rows []StatsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPI stack: per-cycle attribution (buckets sum to 100%% of cycles)\n")
+	fmt.Fprintf(&b, "%-24s %-11s %6s %6s %6s %6s %6s %6s %6s\n",
+		"workload", "mode", "ipc", "base%", "front%", "seri%", "pkru%", "mem%", "squa%")
+	for _, r := range rows {
+		pct := func(v uint64) float64 { return 100 * float64(v) / float64(r.Cycles) }
+		fmt.Fprintf(&b, "%-24s %-11s %6.3f %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
+			r.Workload, r.Mode, r.IPC,
+			pct(r.CPI.Base), pct(r.CPI.Frontend), pct(r.CPI.Serialize),
+			pct(r.CPI.PkruFull), pct(r.CPI.Memory), pct(r.CPI.SquashRecovery))
+	}
+	return b.String()
+}

@@ -26,7 +26,9 @@ import (
 	"specmpk/internal/isa"
 	"specmpk/internal/mem"
 	"specmpk/internal/mpk"
+	"specmpk/internal/stats"
 	"specmpk/internal/tlb"
+	"specmpk/internal/trace"
 )
 
 // Mode selects the WRPKRU microarchitecture.
@@ -181,6 +183,38 @@ type Stats struct {
 
 	PkeyFaults uint64
 	Faults     uint64
+
+	// CPI attributes every cycle to exactly one stack bucket, so
+	// CPI.Sum() == Cycles always holds (the accounting runs once per Step).
+	CPI CPIStack
+}
+
+// CPIStack is the per-cycle attribution the CPI-stack accounting pass
+// maintains: each simulated cycle lands in exactly one bucket, so the
+// Serialized-vs-SpecMPK gap decomposes into causes instead of being a single
+// opaque IPC delta.
+type CPIStack struct {
+	// Base: cycles that retired at least one instruction, plus stalls on
+	// non-memory execution latency (the useful-work baseline).
+	Base uint64 `json:"base"`
+	// Frontend: the window is empty and fetch/decode has not delivered.
+	Frontend uint64 `json:"frontend"`
+	// Serialize: rename blocked by WRPKRU/RDPKRU serialization (the
+	// serialized machine's drain, or RDPKRU waiting out in-flight WRPKRUs).
+	Serialize uint64 `json:"serialize"`
+	// PkruFull: rename blocked because ROB_pkru is full (Fig. 11's limiter).
+	PkruFull uint64 `json:"rob_pkru_full"`
+	// Memory: the oldest instruction is a load/store still waiting on the
+	// memory system (including SpecMPK stall-till-head replays).
+	Memory uint64 `json:"memory"`
+	// SquashRecovery: post-squash refill bubbles (empty window inside the
+	// redirect shadow).
+	SquashRecovery uint64 `json:"squash_recovery"`
+}
+
+// Sum returns the total attributed cycles; it equals Stats.Cycles.
+func (c CPIStack) Sum() uint64 {
+	return c.Base + c.Frontend + c.Serialize + c.PkruFull + c.Memory + c.SquashRecovery
 }
 
 // IPC returns retired instructions per cycle.
@@ -321,6 +355,12 @@ type Machine struct {
 	// FaultHandler is consulted when a fault reaches retirement.
 	FaultHandler func(f *mem.Fault, pkru *mpk.PKRU) FaultAction
 
+	// Events, when non-nil, receives structured microarchitectural events
+	// (squashes, WRPKRU retirements, head replays, forwarding suppression,
+	// TLB deferrals) into a bounded ring buffer for JSONL export
+	// (cmd/specmpk-sim -trace-out). Nil disables the layer entirely.
+	Events *trace.Ring
+
 	// Front end.
 	tage *bpred.TAGE
 	btb  *bpred.BTB
@@ -364,6 +404,16 @@ type Machine struct {
 	// Because WRPKRUs execute in program order, pkruDepSeq <= highwater
 	// means every older WRPKRU has executed.
 	wrpkruExecHighwater uint64
+
+	// CPI-stack accounting (one bucket per Step; see accountCycle).
+	retiredThisCycle int
+	renameBlock      stallReason // why rename made no progress this cycle
+	recoverUntil     uint64      // squash-redirect shadow end cycle
+
+	// loadLat observes every executed load's latency; reg is the lazily
+	// built unified metrics registry over this machine (StatsRegistry).
+	loadLat *stats.Histogram
+	reg     *stats.Registry
 }
 
 type fqEntry struct {
@@ -420,6 +470,7 @@ func NewWithState(cfg Config, prog *asm.Program, as *mem.AddressSpace,
 		prf:       make([]uint64, cfg.PRFSize),
 		prfReady:  make([]bool, cfg.PRFSize),
 		al:        make([]alEntry, cfg.ALSize),
+		loadLat:   stats.NewHistogram([]float64{2, 4, 8, 16, 32, 64, 128, 256, 512}),
 	}
 	m.PKRUState.SetARF(pkru)
 	if cfg.MemDepSpeculation {
@@ -551,11 +602,50 @@ func (m *Machine) Run(maxCycles uint64) error {
 func (m *Machine) Step() {
 	m.cycle++
 	m.Stats.Cycles++
+	m.retiredThisCycle = 0
+	m.renameBlock = stallNone
 	m.completeStage()
 	m.retireStage()
 	m.issueStage()
 	m.renameStage()
 	m.fetchStage()
+	m.accountCycle()
+}
+
+// accountCycle attributes the cycle just simulated to exactly one CPI-stack
+// bucket. Precedence: retired work beats every stall; PKRU serialization and
+// ROB_pkru capacity beat the generic causes (they are what the paper's
+// figures single out); a non-empty window attributes to its oldest
+// instruction (memory vs execution latency); an empty window is a squash
+// bubble inside the redirect shadow, frontend starvation otherwise.
+func (m *Machine) accountCycle() {
+	c := &m.Stats.CPI
+	switch {
+	case m.retiredThisCycle > 0:
+		c.Base++
+	case m.renameBlock == stallSerialize:
+		c.Serialize++
+	case m.renameBlock == stallPkruFull:
+		c.PkruFull++
+	case m.alCnt > 0:
+		if e := m.alAt(0); e.isLoad || e.isStore {
+			c.Memory++
+		} else {
+			c.Base++
+		}
+	case m.cycle <= m.recoverUntil:
+		c.SquashRecovery++
+	default:
+		c.Frontend++
+	}
+}
+
+// emit forwards a microarchitectural event to the trace ring, if attached.
+func (m *Machine) emit(e trace.Event) {
+	if m.Events != nil {
+		e.Cycle = m.cycle
+		m.Events.Emit(e)
+	}
 }
 
 // alAt returns the entry at ring offset i from head (0 = oldest).

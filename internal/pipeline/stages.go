@@ -5,6 +5,7 @@ import (
 	"specmpk/internal/isa"
 	"specmpk/internal/mem"
 	"specmpk/internal/mpk"
+	"specmpk/internal/trace"
 )
 
 // ---------------------------------------------------------------------------
@@ -270,6 +271,7 @@ func (m *Machine) renameStage() {
 	}
 	if wanted && renamed == 0 {
 		m.Stats.RenameStallCycles++
+		m.renameBlock = reason
 		switch reason {
 		case stallSerialize:
 			m.Stats.SerializeStallCycles++
@@ -476,7 +478,7 @@ func (m *Machine) checkMemOrder(idx int) bool {
 		m.violators[l.pc] = true
 		pc := l.pc
 		ras := l.rasCkpt
-		m.squashAfter(j - 1)
+		m.squashAfter(j-1, "memorder")
 		// Recover the front end to the load. (The global branch history
 		// keeps the squashed suffix's bits — predictor state is heuristic,
 		// not architectural.)
@@ -542,6 +544,7 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 			e.stallTillHead = true
 			e.tlbDeferred = true
 			m.Stats.LoadsStalledTillHead++
+			m.emit(trace.Event{Kind: trace.KindTLBDefer, Seq: e.seq, PC: e.pc, Note: "load"})
 			return
 		}
 		lat += m.DTLB.WalkLatency()
@@ -629,6 +632,7 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 }
 
 func (m *Machine) loadHook(e *alEntry, lat int) {
+	m.loadLat.Observe(float64(lat))
 	if m.OnLoadLatency != nil {
 		m.OnLoadLatency(e.vaddr, lat)
 	}
@@ -675,6 +679,8 @@ func (m *Machine) storeExecute(e *alEntry, rs1, rs2 uint64) {
 			e.tlbDeferred = true
 			e.noForward = true
 			m.Stats.StoresNoForward++
+			m.emit(trace.Event{Kind: trace.KindTLBDefer, Seq: e.seq, PC: e.pc, Note: "store"})
+			m.emit(trace.Event{Kind: trace.KindNoForward, Seq: e.seq, PC: e.pc, Note: "tlb_miss"})
 		} else {
 			e.pkey = int(pte.PKey)
 			e.paddr = pte.PPN<<mem.PageBits | e.vaddr&(mem.PageSize-1)
@@ -685,6 +691,7 @@ func (m *Machine) storeExecute(e *alEntry, rs1, rs2 uint64) {
 				// permission re-verification happens at retirement.
 				e.noForward = true
 				m.Stats.StoresNoForward++
+				m.emit(trace.Event{Kind: trace.KindNoForward, Seq: e.seq, PC: e.pc, Note: "store_check"})
 			}
 		}
 		if e.noForward && e.fault == nil && m.Cfg.StallSuspectStores {
@@ -799,7 +806,15 @@ func (m *Machine) resolveControl(e *alEntry, idx int) bool {
 		return false
 	}
 	m.Stats.Mispredicts++
-	m.squashAfter(idx)
+	// Attribute indirect-target misses to the predicting structure.
+	if e.in.Op == isa.OpJalr {
+		if e.in.IsReturn() {
+			m.ras.Mispredicts++
+		} else {
+			m.btb.Mispredicts++
+		}
+	}
+	m.squashAfter(idx, "mispredict")
 	// Recover front-end state and redirect.
 	if e.hasDir {
 		m.tage.Recover(e.dir, e.actTaken)
@@ -818,8 +833,16 @@ func (m *Machine) resolveControl(e *alEntry, idx int) bool {
 }
 
 // squashAfter removes every AL entry younger than offset idx (pass -1 to
-// flush the whole window) and repairs the rename state.
-func (m *Machine) squashAfter(idx int) {
+// flush the whole window) and repairs the rename state. why names the cause
+// for the event trace (mispredict, memorder, fault).
+func (m *Machine) squashAfter(idx int, why string) {
+	if n := m.alCnt - (idx + 1); n > 0 {
+		m.emit(trace.Event{Kind: trace.KindSquash, N: uint64(n), Note: why})
+	}
+	// Refetched instructions need the redirect shadow (fetch plus the decode
+	// pipe) before rename sees them again; empty-window cycles inside it are
+	// squash-recovery bubbles, not frontend starvation.
+	m.recoverUntil = m.cycle + uint64(m.Cfg.FrontendDepth) + 1
 	for j := m.alCnt - 1; j > idx; j-- {
 		e := m.alAt(j)
 		if e.newPhys != noReg {
@@ -903,6 +926,7 @@ func (m *Machine) retireStage() {
 				m.PKRUState.Retire()
 			}
 			m.Stats.Wrpkru++
+			m.emit(trace.Event{Kind: trace.KindWrpkruRetire, Seq: e.seq, PC: e.pc, N: e.storeData})
 		case e.in.Op == isa.OpRdpkru:
 			m.Stats.Rdpkru++
 		case e.in.Op.IsCondBranch():
@@ -934,6 +958,7 @@ func (m *Machine) retireStage() {
 		m.alHead = (m.alHead + 1) % len(m.al)
 		m.alCnt--
 		retired++
+		m.retiredThisCycle++
 		m.Stats.Insts++
 	}
 }
@@ -944,6 +969,7 @@ func (m *Machine) reissueAtHead(e *alEntry) {
 	e.reissued = true
 	e.stallTillHead = false
 	e.issueCyc = m.cycle
+	m.emit(trace.Event{Kind: trace.KindHeadReplay, Seq: e.seq, PC: e.pc, Note: "load"})
 	lat := 1
 	vpn := e.vaddr >> mem.PageBits
 	paddr, pte, err := m.AS.Translate(e.vaddr, mem.Read)
@@ -976,6 +1002,7 @@ func (m *Machine) reissueStoreAtHead(e *alEntry) {
 	e.reissued = true
 	e.stallTillHead = false
 	e.issueCyc = m.cycle
+	m.emit(trace.Event{Kind: trace.KindHeadReplay, Seq: e.seq, PC: e.pc, Note: "store"})
 	paddr, pte, err := m.AS.Translate(e.vaddr, mem.Write)
 	if err != nil {
 		m.finishFaulted(e, err.(*mem.Fault), 1)
@@ -1047,7 +1074,7 @@ func (m *Machine) deliverFault(e *alEntry) {
 
 // flushAndRedirect empties the pipeline (fault recovery) and restarts fetch.
 func (m *Machine) flushAndRedirect(pc uint64) {
-	m.squashAfter(-1)
+	m.squashAfter(-1, "fault")
 	m.fq = m.fq[:0]
 	m.pc = pc
 	m.fetchStopped = false

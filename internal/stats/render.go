@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Text renders the snapshot as an aligned gem5-style dump:
+//
+//	name                                   value  # description
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	s.WriteText(&b)
+	return b.String()
+}
+
+// WriteText writes the aligned text dump to w.
+func (s *Snapshot) WriteText(w io.Writer) {
+	nameW := 0
+	for _, v := range s.Values {
+		if len(v.Name) > nameW {
+			nameW = len(v.Name)
+		}
+	}
+	for _, v := range s.Values {
+		switch v.Kind {
+		case KindCounter:
+			fmt.Fprintf(w, "%-*s %16d", nameW, v.Name, v.Uint)
+		case KindHistogram:
+			fmt.Fprintf(w, "%-*s %16d", nameW, v.Name, v.Hist.Count)
+		default:
+			fmt.Fprintf(w, "%-*s %16s", nameW, v.Name, formatFloat(v.Float))
+		}
+		if v.Desc != "" {
+			fmt.Fprintf(w, "  # %s", v.Desc)
+		}
+		fmt.Fprintln(w)
+		if v.Kind == KindHistogram && v.Hist.Count > 0 {
+			fmt.Fprintf(w, "%-*s %16s  # histogram mean\n", nameW, v.Name+".mean", formatFloat(v.Hist.Mean()))
+			for i, c := range v.Hist.Counts {
+				if c == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%-*s %16d\n", nameW, v.Name+bucketSuffix(v.Hist.Bounds, i), c)
+			}
+		}
+	}
+}
+
+func bucketSuffix(bounds []float64, i int) string {
+	if i == len(bounds) {
+		return ".le_inf"
+	}
+	return fmt.Sprintf(".le_%g", bounds[i])
+}
+
+func formatFloat(f float64) string {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return "0"
+	}
+	return fmt.Sprintf("%.6g", f)
+}
+
+// Flat returns the snapshot as a flat name -> value map: counters as uint64,
+// gauges/formulas as float64, histograms as *HistValue. This is the shape
+// both JSON paths (specmpk-sim -stats-out and specmpk-bench stats rows)
+// serialize.
+func (s *Snapshot) Flat() map[string]any {
+	out := make(map[string]any, len(s.Values))
+	for _, v := range s.Values {
+		switch v.Kind {
+		case KindCounter:
+			out[v.Name] = v.Uint
+		case KindHistogram:
+			out[v.Name] = v.Hist
+		default:
+			f := v.Float
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				f = 0
+			}
+			out[v.Name] = f
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as one indented JSON object:
+//
+//	{"metrics": {"pipeline.cycles": 123, ...}}
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics map[string]any `json:"metrics"`
+	}{s.Flat()})
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition format.
+// Dotted names become underscore-separated ("cache.l2.misses" ->
+// "cache_l2_misses"); histograms expand to _bucket/_sum/_count series with
+// cumulative le labels.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for _, v := range s.Values {
+		name := promName(v.Name)
+		if v.Desc != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, v.Desc); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, promType(v.Kind)); err != nil {
+			return err
+		}
+		switch v.Kind {
+		case KindCounter:
+			fmt.Fprintf(w, "%s %d\n", name, v.Uint)
+		case KindHistogram:
+			cum := uint64(0)
+			for i, c := range v.Hist.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(v.Hist.Bounds) {
+					le = fmt.Sprintf("%g", v.Hist.Bounds[i])
+				}
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+			}
+			fmt.Fprintf(w, "%s_sum %g\n", name, v.Hist.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", name, v.Hist.Count)
+		default:
+			fmt.Fprintf(w, "%s %s\n", name, formatFloat(v.Float))
+		}
+	}
+	return nil
+}
+
+func promType(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -10,7 +10,10 @@
 // steps so the deferral is expressible.
 package tlb
 
-import "specmpk/internal/mem"
+import (
+	"specmpk/internal/mem"
+	"specmpk/internal/stats"
+)
 
 // Entry is one cached translation.
 type Entry struct {
@@ -156,6 +159,23 @@ func (t *TLB) FlushAll() {
 	for i := range t.entries {
 		t.entries[i] = Entry{}
 	}
+}
+
+// Register publishes the TLB's counters under prefix ("tlb.dtlb").
+func (t *TLB) Register(r *stats.Registry, prefix string) {
+	r.Counter(prefix+".hits", "translation hits", func() uint64 { return t.Stats.Hits })
+	r.Counter(prefix+".misses", "translation misses", func() uint64 { return t.Stats.Misses })
+	r.Counter(prefix+".fills", "translations installed", func() uint64 { return t.Stats.Fills })
+	r.Counter(prefix+".flushes", "full invalidations", func() uint64 { return t.Stats.Flushes })
+	r.Formula(prefix+".miss_rate", "misses per lookup",
+		func(get func(string) float64) float64 {
+			acc := get(prefix+".hits") + get(prefix+".misses")
+			if acc == 0 {
+				return 0
+			}
+			return get(prefix+".misses") / acc
+		})
+	r.Gauge(prefix+".occupancy", "valid entries", func() float64 { return float64(t.Occupancy()) })
 }
 
 // Occupancy returns the number of valid entries (test/diagnostic helper).

@@ -1,0 +1,113 @@
+// Package trace is the structured event-trace layer for the cycle-level
+// simulator: a bounded ring buffer of typed microarchitectural events
+// (squashes, WRPKRU retirements, head replays, forwarding suppression, TLB
+// deferrals) with a JSONL serializer, plus a Konata/gem5-O3-compatible
+// exporter for per-instruction stage timelines.
+//
+// The ring is bounded so tracing a 500M-cycle run cannot exhaust memory:
+// once full, the oldest events are overwritten and counted as dropped. The
+// pipeline emits events unconditionally cheaply (a nil ring disables the
+// whole layer), so the hooks cost nothing when tracing is off.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind names an event type.
+type Kind string
+
+// The event kinds the pipeline emits.
+const (
+	// KindSquash is a pipeline squash; N carries the number of flushed
+	// active-list entries, Note the cause (mispredict, memorder, fault).
+	KindSquash Kind = "squash"
+	// KindWrpkruRetire is a WRPKRU reaching retirement; N carries the new
+	// committed PKRU value.
+	KindWrpkruRetire Kind = "wrpkru_retire"
+	// KindHeadReplay is a load or store re-executing at the active-list head
+	// (PKRU Load Check failure, deferred TLB fill, or suspect-store replay).
+	KindHeadReplay Kind = "head_replay"
+	// KindNoForward is a store whose store-to-load forwarding was suppressed
+	// by a failing PKRU Store Check or a deferred translation.
+	KindNoForward Kind = "no_forward"
+	// KindTLBDefer is a memory access whose TLB fill was deferred to
+	// retirement (SpecMPK §V-C5).
+	KindTLBDefer Kind = "tlb_defer"
+)
+
+// Event is one microarchitectural occurrence.
+type Event struct {
+	Cycle uint64 `json:"cycle"`
+	Kind  Kind   `json:"kind"`
+	Seq   uint64 `json:"seq,omitempty"`
+	PC    uint64 `json:"pc,omitempty"`
+	N     uint64 `json:"n,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+// Ring is a bounded event buffer: Emit overwrites the oldest event when
+// full, counting the overwritten ones as dropped.
+type Ring struct {
+	buf     []Event
+	start   int // index of the oldest event
+	n       int
+	dropped uint64
+}
+
+// NewRing builds a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit appends an event, evicting the oldest when full.
+func (r *Ring) Emit(e Event) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = e
+		r.n++
+		return
+	}
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int { return r.n }
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// CountByKind tallies the buffered events per kind.
+func (r *Ring) CountByKind() map[Kind]uint64 {
+	out := make(map[Kind]uint64)
+	for i := 0; i < r.n; i++ {
+		out[r.buf[(r.start+i)%len(r.buf)].Kind]++
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per line per event.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestRingWrapAndDropped(t *testing.T) {
+	r := NewRing(3)
+	for i := uint64(1); i <= 5; i++ {
+		r.Emit(Event{Cycle: i, Kind: KindSquash})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped())
+	}
+	evs := r.Events()
+	for i, want := range []uint64{3, 4, 5} {
+		if evs[i].Cycle != want {
+			t.Fatalf("Events()[%d].Cycle = %d, want %d (oldest first)", i, evs[i].Cycle, want)
+		}
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(Event{Kind: KindSquash})
+	r.Emit(Event{Kind: KindSquash})
+	r.Emit(Event{Kind: KindWrpkruRetire})
+	got := r.CountByKind()
+	if got[KindSquash] != 2 || got[KindWrpkruRetire] != 1 {
+		t.Fatalf("CountByKind = %v", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	events := []Event{
+		{Cycle: 10, Kind: KindSquash, N: 12, Note: "mispredict"},
+		{Cycle: 42, Kind: KindWrpkruRetire, Seq: 7, PC: 0x100, N: 0x5},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var back []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		back = append(back, e)
+	}
+	if len(back) != 2 || back[0] != events[0] || back[1] != events[1] {
+		t.Fatalf("round trip = %+v, want %+v", back, events)
+	}
+	// Zero-valued optional fields must be omitted so traces stay compact.
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(firstLine(t, events)), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["seq"]; ok {
+		t.Fatalf("zero seq not omitted: %v", raw)
+	}
+}
+
+func firstLine(t *testing.T, events []Event) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events[:1]); err != nil {
+		t.Fatal(err)
+	}
+	line, _, _ := strings.Cut(buf.String(), "\n")
+	return line
+}
+
+func TestWriteKonataGolden(t *testing.T) {
+	// A tiny hand-built retirement stream: i1 overlaps i0, and i2's rename
+	// timestamp precedes its (post-squash) fetch to exercise the monotone
+	// clamping.
+	recs := []StageRecord{
+		{Seq: 0, PC: 0x100, Disasm: "addi r1, r0, 1", Fetch: 5, Rename: 6, Issue: 7, Complete: 8, Retire: 9},
+		{Seq: 1, PC: 0x104, Disasm: "ld r2, 0(r1)", Fetch: 5, Rename: 6, Issue: 8, Complete: 12, Retire: 13},
+		{Seq: 2, PC: 0x108, Disasm: "wrpkru r2", Fetch: 11, Rename: 7, Issue: 14, Complete: 15, Retire: 16},
+	}
+	var buf bytes.Buffer
+	if err := WriteKonata(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "konata.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Konata output drifted from golden (re-bless with -update):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteKonataEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteKonata(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "Kanata\t0004\n" {
+		t.Fatalf("empty trace = %q", got)
+	}
+}
+
+func TestNewRingPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	NewRing(0)
+}
