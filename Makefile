@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet race bench check clean
+.PHONY: all build test vet lint race bench fuzz-smoke check clean
 
 all: check
 
@@ -13,14 +14,29 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: staticcheck when available (CI installs it), vet-only
+# otherwise so the target works in hermetic environments.
+lint: vet
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only" \
+		     "(go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
+# Short fuzz pass over the assembler's parser (the repo's untrusted-input
+# surface); CI runs it on every push.
+fuzz-smoke:
+	$(GO) test -fuzz=Fuzz -fuzztime=10s -run=^$$ ./internal/asm
+
 # The tier-1 gate: what CI runs.
-check: build vet race
+check: build lint race
 
 clean:
 	$(GO) clean ./...

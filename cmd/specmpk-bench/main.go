@@ -16,10 +16,12 @@ import (
 	"strings"
 
 	"specmpk/internal/experiments"
+	"specmpk/internal/pipeline"
 )
 
 func main() {
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	modes := flag.String("modes", "", "comma-separated policy subset for mode sweeps (default: all registered: "+strings.Join(pipeline.PolicyNames(), ",")+")")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (default: GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON rows instead of tables")
 	flag.Usage = usage
@@ -31,6 +33,16 @@ func main() {
 	r := experiments.Runner{Parallelism: *parallel}
 	if *workloads != "" {
 		r.Workloads = strings.Split(*workloads, ",")
+	}
+	if *modes != "" {
+		for _, name := range strings.Split(*modes, ",") {
+			m, err := pipeline.ParseMode(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "specmpk-bench: %v\n", err)
+				os.Exit(2)
+			}
+			r.Modes = append(r.Modes, m)
+		}
 	}
 	for _, name := range flag.Args() {
 		var err error
@@ -72,8 +84,9 @@ experiments:
   window   instruction-window sweep on the densest workload (extension)
   pkrusafe unsafe-library heap isolation overhead (extension; Section III-B)
   rdpkru   pkey_set read-modify-write vs load-immediate updates (Section V-C6)
-  stats    unified metrics registry + CPI-stack per workload×mode (with -json:
-           every pipeline/cache/tlb/bpred metric per row)
+  stats    unified metrics registry + CPI-stack per workload×mode, sweeping
+           every registered policy incl. delayupgrade/noforward (with -json:
+           every pipeline/cache/tlb/bpred metric per row; restrict via -modes)
   all      everything above
 
 flags:

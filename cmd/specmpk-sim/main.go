@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"specmpk/internal/asm"
 	"specmpk/internal/isa"
@@ -41,7 +42,7 @@ func main() {
 	var (
 		wl       = flag.String("workload", "", "catalogue workload to run")
 		asmFile  = flag.String("asm", "", "assembly file to run instead of a workload")
-		mode     = flag.String("mode", "specmpk", "microarchitecture: serialized | nonsecure | specmpk")
+		mode     = flag.String("mode", "specmpk", "microarchitecture: "+strings.Join(pipeline.PolicyNames(), " | "))
 		variant  = flag.String("variant", "full", "instrumentation: full | nop | none | rdpkru")
 		robPkru  = flag.Int("robpkru", 8, "ROB_pkru entries")
 		maxCyc   = flag.Uint64("cycles", 500_000_000, "cycle budget")
@@ -85,15 +86,9 @@ func main() {
 
 	cfg := pipeline.DefaultConfig()
 	cfg.ROBPkruSize = *robPkru
-	switch *mode {
-	case "serialized":
-		cfg.Mode = pipeline.ModeSerialized
-	case "nonsecure":
-		cfg.Mode = pipeline.ModeNonSecure
-	case "specmpk":
-		cfg.Mode = pipeline.ModeSpecMPK
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	cfg.Mode, err = pipeline.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
 	}
 
 	m, err := pipeline.New(cfg, prog)

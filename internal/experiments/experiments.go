@@ -27,6 +27,9 @@ type Runner struct {
 	Parallelism int
 	// Workloads restricts the catalogue (nil = all).
 	Workloads []string
+	// Modes restricts the microarchitecture sweep for mode-iterating
+	// experiments such as stats (nil = every registered policy).
+	Modes []pipeline.Mode
 }
 
 func (r Runner) workers() int {
@@ -34,6 +37,13 @@ func (r Runner) workers() int {
 		return r.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (r Runner) modes() []pipeline.Mode {
+	if len(r.Modes) > 0 {
+		return r.Modes
+	}
+	return pipeline.RegisteredModes()
 }
 
 func (r Runner) catalog() []workload.Profile {

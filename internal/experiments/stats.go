@@ -21,21 +21,18 @@ type StatsRow struct {
 	Metrics  map[string]any    `json:"metrics"`
 }
 
-// StatsModes are the microarchitectures the stats experiment sweeps.
-var StatsModes = []pipeline.Mode{
-	pipeline.ModeSerialized, pipeline.ModeNonSecure, pipeline.ModeSpecMPK,
-}
-
-// StatsRows runs every catalogue workload under each microarchitecture and
-// captures the unified registry per run. It verifies the CPI-stack invariant
-// (buckets sum exactly to the cycle count) on every row and fails loudly if
-// the accounting ever leaks a cycle.
+// StatsRows runs every catalogue workload under each registered
+// microarchitecture policy (restrict with Runner.Modes) and captures the
+// unified registry per run. It verifies the CPI-stack invariant (buckets sum
+// exactly to the cycle count) on every row and fails loudly if the accounting
+// ever leaks a cycle — including for policies registered outside this package.
 func StatsRows(r Runner) ([]StatsRow, error) {
 	cat := r.catalog()
-	rows := make([]StatsRow, len(cat)*len(StatsModes))
+	modes := r.modes()
+	rows := make([]StatsRow, len(cat)*len(modes))
 	err := forEach(r.workers(), indices(rows), func(i int) error {
-		p := cat[i/len(StatsModes)]
-		mode := StatsModes[i%len(StatsModes)]
+		p := cat[i/len(modes)]
+		mode := modes[i%len(modes)]
 		prog, err := p.Build(workload.VariantFull)
 		if err != nil {
 			return err

@@ -1,0 +1,115 @@
+package pipeline_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"specmpk/internal/pipeline"
+	"specmpk/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false,
+	"rewrite testdata/golden_stats.json from the current simulator")
+
+// The golden matrix: the three paper microarchitectures over one
+// shadow-stack and one code-pointer-integrity workload. Small enough to run
+// in every `go test`, diverse enough to exercise every WRPKRU interaction
+// point (rename gating, ROB_pkru pressure, load/store checks, forwarding
+// suppression, TLB deferral).
+var (
+	goldenModes     = []pipeline.Mode{pipeline.ModeSerialized, pipeline.ModeNonSecure, pipeline.ModeSpecMPK}
+	goldenWorkloads = []string{"548.exchange2_r", "471.omnetpp"}
+)
+
+type goldenRow struct {
+	Workload string         `json:"workload"`
+	Mode     string         `json:"mode"`
+	Stats    pipeline.Stats `json:"stats"`
+}
+
+func goldenRun(t *testing.T, name string, mode pipeline.Mode) pipeline.Stats {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	prog, err := p.Build(workload.VariantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Mode = mode
+	m, err := pipeline.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(500_000_000); err != nil {
+		t.Fatalf("%s/%v: %v", name, mode, err)
+	}
+	return m.Stats
+}
+
+// TestGoldenStats locks the three paper microarchitectures cycle-for-cycle:
+// every counter of every golden run must match testdata/golden_stats.json
+// exactly. The file was captured from the pre-policy-refactor simulator
+// (the 11-branch `Cfg.Mode` switch in stages.go), so a pass proves the
+// PKRUPolicy implementations reproduce the original modes bit-identically.
+// Regenerate deliberately with `go test ./internal/pipeline -run Golden -update`.
+func TestGoldenStats(t *testing.T) {
+	path := filepath.Join("testdata", "golden_stats.json")
+
+	var rows []goldenRow
+	for _, wl := range goldenWorkloads {
+		for _, mode := range goldenModes {
+			rows = append(rows, goldenRow{
+				Workload: wl,
+				Mode:     mode.String(),
+				Stats:    goldenRun(t, wl, mode),
+			})
+		}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d rows)", path, len(rows))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want []goldenRow
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(rows) {
+		t.Fatalf("golden file has %d rows, matrix produces %d (regenerate with -update)", len(want), len(rows))
+	}
+	for i, w := range want {
+		got := rows[i]
+		if got.Workload != w.Workload || got.Mode != w.Mode {
+			t.Fatalf("row %d: got %s/%s, golden has %s/%s (matrix changed; regenerate with -update)",
+				i, got.Workload, got.Mode, w.Workload, w.Mode)
+		}
+		if !reflect.DeepEqual(got.Stats, w.Stats) {
+			gj, _ := json.MarshalIndent(got.Stats, "", "  ")
+			wj, _ := json.MarshalIndent(w.Stats, "", "  ")
+			t.Errorf("%s/%s: stats diverged from golden\ngot:  %s\nwant: %s",
+				w.Workload, w.Mode, gj, wj)
+		}
+	}
+}

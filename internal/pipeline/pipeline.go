@@ -4,7 +4,9 @@
 // disambiguation with store-to-load forwarding, a TAGE+BTB+RAS front end,
 // split TLBs and a four-level cache hierarchy — configured per Table III.
 //
-// Three WRPKRU microarchitectures are selectable (paper §VII):
+// The WRPKRU microarchitecture is pluggable: every point where designs
+// differ is a PKRUPolicy hook (see policy.go), and a Config's Mode selects a
+// registered policy. Five ship in-tree (paper §VII plus two extensions):
 //
 //   - ModeSerialized: WRPKRU drains the pipeline at rename and blocks rename
 //     until it retires (models current hardware).
@@ -14,6 +16,9 @@
 //     checks backed by the Disabling Counters, stall-until-retirement for
 //     suspect loads, store-to-load-forwarding suppression, and deferred TLB
 //     updates.
+//   - ModeDelayUpgrade: Okapi-style — loads under a transient PKRU upgrade
+//     delay until non-speculative; stores keep forwarding.
+//   - ModeNoForward: SpecMPK's store-forwarding restriction alone.
 package pipeline
 
 import (
@@ -31,27 +36,19 @@ import (
 	"specmpk/internal/trace"
 )
 
-// Mode selects the WRPKRU microarchitecture.
+// Mode selects the WRPKRU microarchitecture. It is a registry handle: each
+// value resolves to a registered PKRUPolicy (see policy.go), so new designs
+// plug in via RegisterPolicy without the core loop learning about them.
+// ParseMode maps policy names to Modes; Mode.String maps back.
 type Mode int
 
-// The three evaluated microarchitectures.
+// The three microarchitectures the paper evaluates (pre-registered).
+// Additional registered designs: ModeDelayUpgrade, ModeNoForward.
 const (
 	ModeSerialized Mode = iota
 	ModeNonSecure
 	ModeSpecMPK
 )
-
-func (m Mode) String() string {
-	switch m {
-	case ModeSerialized:
-		return "serialized"
-	case ModeNonSecure:
-		return "nonsecure"
-	case ModeSpecMPK:
-		return "specmpk"
-	}
-	return fmt.Sprintf("mode%d", int(m))
-}
 
 // Config is the machine configuration (Table III defaults via DefaultConfig).
 type Config struct {
@@ -133,14 +130,14 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate() error {
+func (c Config) validate(pol PKRUPolicy) error {
 	if c.Width <= 0 || c.IssueWidth <= 0 {
 		return fmt.Errorf("pipeline: widths must be positive")
 	}
 	if c.ALSize <= 0 || c.PRFSize < isa.NumRegs+c.Width {
 		return fmt.Errorf("pipeline: AL/PRF too small")
 	}
-	if c.Mode != ModeSerialized && c.ROBPkruSize <= 0 {
+	if pol.RenamesPKRU() && c.ROBPkruSize <= 0 {
 		return fmt.Errorf("pipeline: ROB_pkru size must be positive")
 	}
 	return nil
@@ -328,6 +325,10 @@ type Machine struct {
 	Prog *asm.Program
 	AS   *mem.AddressSpace
 
+	// policy is the WRPKRU microarchitecture Cfg.Mode resolved to; every
+	// mode-specific decision in the stage functions goes through it.
+	policy PKRUPolicy
+
 	Stats Stats
 
 	// Hier, DTLB, ITLB expose the memory system for inspection
@@ -445,18 +446,17 @@ func New(cfg Config, prog *asm.Program) (*Machine, error) {
 // intervals are simulated in detail from the middle of a program.
 func NewWithState(cfg Config, prog *asm.Program, as *mem.AddressSpace,
 	regs *[isa.NumRegs]uint64, pkru mpk.PKRU, pc uint64) (*Machine, error) {
-	if err := cfg.validate(); err != nil {
+	pol, err := newPolicy(cfg.Mode)
+	if err != nil {
 		return nil, err
 	}
-	pkruEntries := cfg.ROBPkruSize
-	if cfg.Mode == ModeNonSecure {
-		// The NonSecure microarchitecture renames PKRU through the main
-		// physical register file (paper §VII), so it never stalls on
-		// PKRU-rename capacity; model that as one slot per AL entry.
-		pkruEntries = cfg.ALSize
+	if err := cfg.validate(pol); err != nil {
+		return nil, err
 	}
+	pkruEntries := pol.ROBPkruEntries(cfg)
 	m := &Machine{
 		Cfg:       cfg,
+		policy:    pol,
 		Prog:      prog,
 		AS:        as,
 		Hier:      cache.NewHierarchy(cfg.Caches),

@@ -25,7 +25,10 @@ var (
 	pkruDeny    = uint64(mpk.AllowAll.WithKey(1, mpk.Perm{AD: true}))
 )
 
-func allModes() []Mode { return []Mode{ModeSerialized, ModeNonSecure, ModeSpecMPK} }
+// allModes sweeps every registered policy, so the generic correctness tests
+// (precise faults, WRPKRU semantics, squash recovery, funcsim equivalence)
+// cover policies added through the seam as well as the paper's three.
+func allModes() []Mode { return RegisteredModes() }
 
 func newMachine(t *testing.T, mode Mode, p *asm.Program) *Machine {
 	t.Helper()

@@ -1,0 +1,199 @@
+package pipeline
+
+import (
+	"specmpk/internal/isa"
+	"specmpk/internal/mpk"
+)
+
+// ---------------------------------------------------------------------------
+// serialized — current hardware: WRPKRU drains the pipeline at rename.
+
+// serializedPolicy models today's x86 behaviour: a WRPKRU may only enter an
+// empty window and blocks all younger rename until it retires, so a memory
+// instruction never coexists with an in-flight WRPKRU and always checks the
+// committed ARF_pkru.
+type serializedPolicy struct{}
+
+func (serializedPolicy) Name() string                  { return "serialized" }
+func (serializedPolicy) RenamesPKRU() bool             { return false }
+func (serializedPolicy) ROBPkruEntries(cfg Config) int { return cfg.ROBPkruSize }
+
+func (serializedPolicy) RenameGate(m *Machine, in isa.Inst) stallReason {
+	if m.serialWait {
+		// A WRPKRU is in flight: rename is blocked entirely.
+		return stallSerialize
+	}
+	if in.Op == isa.OpWrpkru && m.alCnt > 0 {
+		// Drain before the serializing instruction enters.
+		return stallSerialize
+	}
+	return stallNone
+}
+
+func (serializedPolicy) DispatchWrpkru(m *Machine, e *alEntry) {
+	if e.in.Op == isa.OpWrpkru {
+		m.serialWait = true
+	}
+}
+
+func (serializedPolicy) TLBUpdateTiming(m *Machine, e *alEntry) TLBMissAction {
+	return TLBWalkNow
+}
+
+func (serializedPolicy) LoadIssueGate(m *Machine, e *alEntry, idx int) GateAction {
+	if !m.PKRUState.ARF().Allows(e.pkey, false) {
+		return GateFault
+	}
+	return GateProceed
+}
+
+func (serializedPolicy) StoreIssueGate(m *Machine, e *alEntry) GateAction {
+	if !m.PKRUState.ARF().Allows(e.pkey, true) {
+		return GateFault
+	}
+	return GateProceed
+}
+
+func (serializedPolicy) AllowStoreForward(m *Machine, s *alEntry) bool { return !s.noForward }
+
+func (serializedPolicy) WrpkruExecute(m *Machine, e *alEntry) {
+	m.PKRUState.SetARF(mpk.PKRU(e.storeData))
+}
+
+func (serializedPolicy) OnRetireWrpkru(m *Machine, e *alEntry) {
+	m.serialWait = false
+}
+
+func (serializedPolicy) OnSquashEntry(m *Machine, e *alEntry) {
+	if e.in.Op == isa.OpWrpkru {
+		m.serialWait = false
+	}
+}
+
+func (serializedPolicy) OnSquashRecover(m *Machine, youngestTag int, youngestSeq uint64) {}
+
+// ---------------------------------------------------------------------------
+// nonsecure — PKRU renamed, WRPKRU fully speculative, no protection.
+
+// renamedPolicy is the NonSecure microarchitecture and the embeddable base
+// for every design that renames PKRU: it wires the ROB_pkru rename/execute/
+// retire/squash lifecycle and checks memory accesses against the youngest
+// older in-flight WRPKRU's (speculative) value.
+type renamedPolicy struct{}
+
+func (renamedPolicy) Name() string      { return "nonsecure" }
+func (renamedPolicy) RenamesPKRU() bool { return true }
+
+func (renamedPolicy) ROBPkruEntries(cfg Config) int {
+	// The NonSecure microarchitecture renames PKRU through the main
+	// physical register file (paper §VII), so it never stalls on
+	// PKRU-rename capacity; model that as one slot per AL entry.
+	return cfg.ALSize
+}
+
+func (renamedPolicy) RenameGate(m *Machine, in isa.Inst) stallReason {
+	if in.Op == isa.OpWrpkru && m.PKRUState.Full() {
+		return stallPkruFull
+	}
+	if in.Op == isa.OpRdpkru && m.PKRUState.RMTValid() {
+		// RDPKRU serializes against in-flight WRPKRU (§V-C6).
+		return stallSerialize
+	}
+	return stallNone
+}
+
+func (renamedPolicy) DispatchWrpkru(m *Machine, e *alEntry) {
+	if e.in.Op.IsMem() || e.in.Op == isa.OpWrpkru {
+		e.pkruTag = m.PKRUState.SourceTag()
+		e.pkruDepSeq = m.lastRenamedWrpkruSeq
+	}
+	if e.in.Op == isa.OpWrpkru {
+		e.pkruDst = m.PKRUState.Rename(e.seq)
+		m.lastRenamedWrpkruSeq = e.seq
+	}
+}
+
+func (renamedPolicy) TLBUpdateTiming(m *Machine, e *alEntry) TLBMissAction {
+	return TLBWalkNow
+}
+
+func (renamedPolicy) LoadIssueGate(m *Machine, e *alEntry, idx int) GateAction {
+	if !m.specPKRU(idx).Allows(e.pkey, false) {
+		return GateFault
+	}
+	return GateProceed
+}
+
+func (renamedPolicy) StoreIssueGate(m *Machine, e *alEntry) GateAction {
+	if !m.specPKRUForEntry(e).Allows(e.pkey, true) {
+		return GateFault
+	}
+	return GateProceed
+}
+
+func (renamedPolicy) AllowStoreForward(m *Machine, s *alEntry) bool { return !s.noForward }
+
+func (renamedPolicy) WrpkruExecute(m *Machine, e *alEntry) {
+	m.PKRUState.Execute(e.pkruDst, mpk.PKRU(e.storeData))
+	if e.seq > m.wrpkruExecHighwater {
+		m.wrpkruExecHighwater = e.seq
+	}
+}
+
+func (renamedPolicy) OnRetireWrpkru(m *Machine, e *alEntry) {
+	m.PKRUState.Retire()
+}
+
+func (renamedPolicy) OnSquashEntry(m *Machine, e *alEntry) {}
+
+func (renamedPolicy) OnSquashRecover(m *Machine, youngestTag int, youngestSeq uint64) {
+	m.PKRUState.SetRMT(youngestTag)
+	m.lastRenamedWrpkruSeq = youngestSeq
+}
+
+// ---------------------------------------------------------------------------
+// specmpk — the paper's secure speculative design.
+
+// specMPKPolicy is NonSecure plus the side-channel defences: the PKRU
+// Load/Store Checks backed by the Disabling Counters, stall-until-retirement
+// for suspect loads, store-to-load-forwarding suppression with a precise
+// re-check at commit, and deferred TLB updates (§V-C).
+type specMPKPolicy struct{ renamedPolicy }
+
+func (specMPKPolicy) Name() string { return "specmpk" }
+
+func (specMPKPolicy) ROBPkruEntries(cfg Config) int { return cfg.ROBPkruSize }
+
+func (specMPKPolicy) TLBUpdateTiming(m *Machine, e *alEntry) TLBMissAction {
+	if m.Cfg.NoTLBDeferral {
+		// Ablation: walk speculatively, then apply the normal checks.
+		// Store translation faults are swallowed (the store defers to
+		// commit); load translation faults surface as usual.
+		if e.isStore {
+			return TLBWalkSpeculative
+		}
+		return TLBWalkNow
+	}
+	// §V-C5: the pKey of an uncached page is unknown, so the access
+	// conservatively stalls (load) or suppresses forwarding (store) and
+	// translates once non-speculative, leaving no speculative TLB footprint.
+	return TLBDeferToRetire
+}
+
+func (specMPKPolicy) LoadIssueGate(m *Machine, e *alEntry, idx int) GateAction {
+	if m.PKRUState.LoadCheckFails(e.pkey) {
+		// PKRU Load Check failed: stall until non-squashable, leaving
+		// no cache or TLB footprint.
+		return GateStallTillHead
+	}
+	return GateProceed
+}
+
+func (specMPKPolicy) StoreIssueGate(m *Machine, e *alEntry) GateAction {
+	if m.PKRUState.StoreCheckFails(e.pkey) {
+		// PKRU Store Check failed: no forwarding; precise permission
+		// re-verification happens at retirement.
+		return GateNoForward
+	}
+	return GateProceed
+}

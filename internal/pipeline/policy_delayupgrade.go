@@ -1,0 +1,42 @@
+package pipeline
+
+// ModeDelayUpgrade selects the Okapi-style delay-speculative-accesses design
+// (Schmitz et al.): PKRU is renamed and WRPKRU executes speculatively, but a
+// load whose permission derives from a *transient upgrade* — the speculative
+// PKRU allows its pKey while the committed ARF_pkru still forbids it — is
+// delayed until it reaches the head of the window. Unlike SpecMPK there are
+// no Disabling Counters, no store-forwarding suppression and no TLB
+// deferral: stores execute and forward under the speculative view, and the
+// only defence is that transiently-upgraded data never enters the cache
+// before the upgrade is architecturally committed.
+//
+// Registered entirely through the PKRUPolicy seam: no core-loop (stages.go /
+// pipeline.go) code knows this mode exists.
+var ModeDelayUpgrade = RegisterPolicy("delayupgrade", func() PKRUPolicy {
+	return delayUpgradePolicy{}
+})
+
+type delayUpgradePolicy struct{ renamedPolicy }
+
+func (delayUpgradePolicy) Name() string { return "delayupgrade" }
+
+// ROBPkruEntries: unlike NonSecure, the design still uses the dedicated
+// PKRU rename file (it must compare the speculative view against a stable
+// committed ARF), so the Table III ROB_pkru bound applies.
+func (delayUpgradePolicy) ROBPkruEntries(cfg Config) int { return cfg.ROBPkruSize }
+
+func (delayUpgradePolicy) LoadIssueGate(m *Machine, e *alEntry, idx int) GateAction {
+	spec := m.specPKRU(idx)
+	if !spec.Allows(e.pkey, false) {
+		// Forbidden even speculatively — same transient fault NonSecure
+		// raises (squashed if on the wrong path, delivered at retire else).
+		return GateFault
+	}
+	if !m.PKRUState.ARF().Allows(e.pkey, false) {
+		// Allowed only by an in-flight WRPKRU upgrade: delay until
+		// non-speculative. The head replay re-checks against the by-then
+		// committed ARF and either executes or faults precisely.
+		return GateStallTillHead
+	}
+	return GateProceed
+}

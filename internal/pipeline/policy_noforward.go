@@ -1,0 +1,33 @@
+package pipeline
+
+// ModeNoForward selects the forwarding-suppression-only ablation: SpecMPK's
+// PKRU Store Check (a store whose pKey any in-flight or committed PKRU value
+// write-disables loses store-to-load forwarding and re-verifies precisely at
+// commit) with *none* of the other defences — loads never stall on the PKRU
+// Load Check and TLB misses walk speculatively. It isolates how much of
+// SpecMPK's overhead the forwarding restriction alone is responsible for,
+// which is the paper's §V-C2 speculative-buffer-overflow countermeasure.
+//
+// Registered entirely through the PKRUPolicy seam: no core-loop (stages.go /
+// pipeline.go) code knows this mode exists.
+var ModeNoForward = RegisterPolicy("noforward", func() PKRUPolicy {
+	return noForwardPolicy{}
+})
+
+type noForwardPolicy struct{ renamedPolicy }
+
+func (noForwardPolicy) Name() string { return "noforward" }
+
+// ROBPkruEntries: the Store Check needs the Disabling Counters, which are
+// sized by the dedicated ROB_pkru (Table III bound), not the main PRF.
+func (noForwardPolicy) ROBPkruEntries(cfg Config) int { return cfg.ROBPkruSize }
+
+func (noForwardPolicy) StoreIssueGate(m *Machine, e *alEntry) GateAction {
+	if m.PKRUState.StoreCheckFails(e.pkey) {
+		// Suspect store: execute (address generation still helps younger
+		// loads) but never forward; the precise ARF_pkru check happens at
+		// commit, exactly as in SpecMPK.
+		return GateNoForward
+	}
+	return GateProceed
+}

@@ -4,7 +4,6 @@ import (
 	"specmpk/internal/core"
 	"specmpk/internal/isa"
 	"specmpk/internal/mem"
-	"specmpk/internal/mpk"
 	"specmpk/internal/trace"
 )
 
@@ -175,27 +174,9 @@ func (m *Machine) renameStage() {
 			break
 		}
 		// WRPKRU / RDPKRU serialization per microarchitecture.
-		if m.Cfg.Mode == ModeSerialized {
-			if m.serialWait {
-				// A WRPKRU is in flight: rename is blocked entirely.
-				reason = stallSerialize
-				break
-			}
-			if in.Op == isa.OpWrpkru && m.alCnt > 0 {
-				// Drain before the serializing instruction enters.
-				reason = stallSerialize
-				break
-			}
-		} else {
-			if in.Op == isa.OpWrpkru && m.PKRUState.Full() {
-				reason = stallPkruFull
-				break
-			}
-			if in.Op == isa.OpRdpkru && m.PKRUState.RMTValid() {
-				// RDPKRU serializes against in-flight WRPKRU (§V-C6).
-				reason = stallSerialize
-				break
-			}
+		if r := m.policy.RenameGate(m, in); r != stallNone {
+			reason = r
+			break
 		}
 
 		// Allocate the active-list entry.
@@ -236,19 +217,8 @@ func (m *Machine) renameStage() {
 		if in.ReadsRs2() {
 			e.physRs2 = m.rmt[in.Rs2]
 		}
-		// PKRU renaming.
-		if m.Cfg.Mode != ModeSerialized {
-			if in.Op.IsMem() || in.Op == isa.OpWrpkru {
-				e.pkruTag = m.PKRUState.SourceTag()
-				e.pkruDepSeq = m.lastRenamedWrpkruSeq
-			}
-			if in.Op == isa.OpWrpkru {
-				e.pkruDst = m.PKRUState.Rename(e.seq)
-				m.lastRenamedWrpkruSeq = e.seq
-			}
-		} else if in.Op == isa.OpWrpkru {
-			m.serialWait = true
-		}
+		// PKRU renaming / serialization bookkeeping.
+		m.policy.DispatchWrpkru(m, e)
 		if writes {
 			p := m.freeList[len(m.freeList)-1]
 			m.freeList = m.freeList[:len(m.freeList)-1]
@@ -513,20 +483,6 @@ func evalBranch(op isa.Op, a, b uint64) bool {
 	return false
 }
 
-// specPKRU returns the PKRU value the NonSecure microarchitecture's memory
-// instruction at AL offset idx observes: the youngest older in-flight
-// WRPKRU's value (guaranteed executed by the issue dependence), or the
-// committed ARF.
-func (m *Machine) specPKRU(idx int) mpk.PKRU {
-	for j := idx - 1; j >= 0; j-- {
-		s := m.alAt(j)
-		if s.in.Op == isa.OpWrpkru {
-			return mpk.PKRU(s.storeData)
-		}
-	}
-	return m.PKRUState.ARF()
-}
-
 func pkeyFault(vaddr uint64, acc mem.AccessKind, key int) *mem.Fault {
 	return &mem.Fault{Kind: mem.FaultPkey, Addr: vaddr, Access: acc, PKey: key}
 }
@@ -538,8 +494,8 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 
 	pte, hit := m.DTLB.Lookup(vpn)
 	if !hit {
-		if m.Cfg.Mode == ModeSpecMPK && !m.Cfg.NoTLBDeferral {
-			// §V-C5: the pKey of an uncached page is unknown, so the access
+		if m.policy.TLBUpdateTiming(m, e) == TLBDeferToRetire {
+			// The pKey of an uncached page is unknown, so the access
 			// conservatively stalls and re-executes at the AL head.
 			e.stallTillHead = true
 			e.tlbDeferred = true
@@ -565,25 +521,16 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 	}
 	e.pkey = int(pte.PKey)
 
-	switch m.Cfg.Mode {
-	case ModeSpecMPK:
-		if m.PKRUState.LoadCheckFails(e.pkey) {
-			// PKRU Load Check failed: stall until non-squashable, leaving
-			// no cache or TLB footprint.
-			e.stallTillHead = true
-			m.Stats.LoadsStalledTillHead++
-			return
-		}
-	case ModeNonSecure:
-		if !m.specPKRU(idx).Allows(e.pkey, false) {
-			m.finishFaulted(e, pkeyFault(e.vaddr, mem.Read, e.pkey), lat)
-			return
-		}
-	case ModeSerialized:
-		if !m.PKRUState.ARF().Allows(e.pkey, false) {
-			m.finishFaulted(e, pkeyFault(e.vaddr, mem.Read, e.pkey), lat)
-			return
-		}
+	switch m.policy.LoadIssueGate(m, e, idx) {
+	case GateStallTillHead:
+		// PKRU Load Check failed: stall until non-squashable, leaving
+		// no cache or TLB footprint.
+		e.stallTillHead = true
+		m.Stats.LoadsStalledTillHead++
+		return
+	case GateFault:
+		m.finishFaulted(e, pkeyFault(e.vaddr, mem.Read, e.pkey), lat)
+		return
 	}
 
 	// Store-to-load forwarding against older in-flight stores. Stores with
@@ -598,8 +545,8 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 		if !overlaps(s.vaddr, s.memBytes, e.vaddr, e.memBytes) {
 			continue
 		}
-		if s.noForward {
-			// SpecMPK: forwarding suppressed; the load waits for the head
+		if !m.policy.AllowStoreForward(m, s) {
+			// Forwarding suppressed; the load waits for the head
 			// (by which time the store has committed to memory).
 			e.stallTillHead = true
 			m.Stats.ForwardBlockedLoads++
@@ -663,93 +610,67 @@ func (m *Machine) storeExecute(e *alEntry, rs1, rs2 uint64) {
 	vpn := e.vaddr >> mem.PageBits
 
 	pte, hit := m.DTLB.Lookup(vpn)
-	if m.Cfg.Mode == ModeSpecMPK {
-		if !hit && m.Cfg.NoTLBDeferral {
-			// Ablation: walk speculatively, then apply the normal checks.
+	if !hit {
+		switch m.policy.TLBUpdateTiming(m, e) {
+		case TLBWalkNow:
+			lat += m.DTLB.WalkLatency()
+			paddr, pte2, err := m.AS.Translate(e.vaddr, mem.Write)
+			if err != nil {
+				m.finishFaulted(e, err.(*mem.Fault), lat)
+				return
+			}
+			m.DTLB.Fill(vpn, pte2)
+			pte, hit = pte2, true
+			e.paddr = paddr
+		case TLBWalkSpeculative:
+			// Ablation: walk speculatively, swallowing translation faults
+			// (the store then defers to commit), then apply the checks.
 			lat += m.DTLB.WalkLatency()
 			if paddr, pte2, err := m.AS.Translate(e.vaddr, mem.Write); err == nil {
 				m.DTLB.Fill(vpn, pte2)
 				pte, hit = pte2, true
 				e.paddr = paddr
 			}
+		case TLBDeferToRetire:
+			// No speculative walk at all.
 		}
-		if !hit {
-			// Defer translation, permission check, and the TLB fill to
-			// retirement; suppress forwarding meanwhile.
-			e.tlbDeferred = true
-			e.noForward = true
-			m.Stats.StoresNoForward++
-			m.emit(trace.Event{Kind: trace.KindTLBDefer, Seq: e.seq, PC: e.pc, Note: "store"})
-			m.emit(trace.Event{Kind: trace.KindNoForward, Seq: e.seq, PC: e.pc, Note: "tlb_miss"})
-		} else {
-			e.pkey = int(pte.PKey)
-			e.paddr = pte.PPN<<mem.PageBits | e.vaddr&(mem.PageSize-1)
-			if !pte.AllowsProt(mem.Write) {
-				e.fault = &mem.Fault{Kind: mem.FaultProt, Addr: e.vaddr, Access: mem.Write}
-			} else if m.PKRUState.StoreCheckFails(e.pkey) {
-				// PKRU Store Check failed: no forwarding; precise
-				// permission re-verification happens at retirement.
-				e.noForward = true
-				m.Stats.StoresNoForward++
-				m.emit(trace.Event{Kind: trace.KindNoForward, Seq: e.seq, PC: e.pc, Note: "store_check"})
-			}
-		}
-		if e.noForward && e.fault == nil && m.Cfg.StallSuspectStores {
-			// Ablation: the suspect store withholds its address until it
-			// is non-squashable (see Config.StallSuspectStores).
-			e.addrReady = false
-			e.stallTillHead = true
-			return
-		}
-		e.st = stIssued
-		e.done = m.cycle + uint64(lat)
-		return
 	}
 
 	if !hit {
-		lat += m.DTLB.WalkLatency()
-		paddr, pte2, err := m.AS.Translate(e.vaddr, mem.Write)
-		if err != nil {
-			e.fault = err.(*mem.Fault)
-			e.st = stIssued
-			e.done = m.cycle + uint64(lat)
-			return
-		}
-		m.DTLB.Fill(vpn, pte2)
-		pte = pte2
-		e.paddr = paddr
+		// Defer translation, permission check, and the TLB fill to
+		// retirement; suppress forwarding meanwhile.
+		e.tlbDeferred = true
+		e.noForward = true
+		m.Stats.StoresNoForward++
+		m.emit(trace.Event{Kind: trace.KindTLBDefer, Seq: e.seq, PC: e.pc, Note: "store"})
+		m.emit(trace.Event{Kind: trace.KindNoForward, Seq: e.seq, PC: e.pc, Note: "tlb_miss"})
 	} else {
+		e.pkey = int(pte.PKey)
+		e.paddr = pte.PPN<<mem.PageBits | e.vaddr&(mem.PageSize-1)
 		if !pte.AllowsProt(mem.Write) {
 			e.fault = &mem.Fault{Kind: mem.FaultProt, Addr: e.vaddr, Access: mem.Write}
-			e.st = stIssued
-			e.done = m.cycle + uint64(lat)
-			return
+		} else {
+			switch m.policy.StoreIssueGate(m, e) {
+			case GateNoForward:
+				// Store Check failed: no forwarding; precise permission
+				// re-verification happens at retirement (commitStore).
+				e.noForward = true
+				m.Stats.StoresNoForward++
+				m.emit(trace.Event{Kind: trace.KindNoForward, Seq: e.seq, PC: e.pc, Note: "store_check"})
+			case GateFault:
+				e.fault = pkeyFault(e.vaddr, mem.Write, e.pkey)
+			}
 		}
-		e.paddr = pte.PPN<<mem.PageBits | e.vaddr&(mem.PageSize-1)
 	}
-	e.pkey = int(pte.PKey)
-
-	var pkru mpk.PKRU
-	if m.Cfg.Mode == ModeNonSecure {
-		pkru = m.specPKRUForEntry(e)
-	} else {
-		pkru = m.PKRUState.ARF()
-	}
-	if !pkru.Allows(e.pkey, true) {
-		e.fault = pkeyFault(e.vaddr, mem.Write, e.pkey)
+	if e.noForward && e.fault == nil && m.Cfg.StallSuspectStores {
+		// Ablation: the suspect store withholds its address until it
+		// is non-squashable (see Config.StallSuspectStores).
+		e.addrReady = false
+		e.stallTillHead = true
+		return
 	}
 	e.st = stIssued
 	e.done = m.cycle + uint64(lat)
-}
-
-// specPKRUForEntry finds e's AL offset and delegates to specPKRU.
-func (m *Machine) specPKRUForEntry(e *alEntry) mpk.PKRU {
-	for i := 0; i < m.alCnt; i++ {
-		if m.alAt(i) == e {
-			return m.specPKRU(i)
-		}
-	}
-	return m.PKRUState.ARF()
 }
 
 // ---------------------------------------------------------------------------
@@ -775,14 +696,7 @@ func (m *Machine) completeStage() {
 		}
 		switch {
 		case e.in.Op == isa.OpWrpkru:
-			if m.Cfg.Mode == ModeSerialized {
-				m.PKRUState.SetARF(mpk.PKRU(e.storeData))
-			} else {
-				m.PKRUState.Execute(e.pkruDst, mpk.PKRU(e.storeData))
-				if e.seq > m.wrpkruExecHighwater {
-					m.wrpkruExecHighwater = e.seq
-				}
-			}
+			m.policy.WrpkruExecute(m, e)
 		case e.in.Op.IsControl():
 			if m.resolveControl(e, i) {
 				return // squashed everything younger; stop scanning
@@ -858,9 +772,7 @@ func (m *Machine) squashAfter(idx int, why string) {
 		if e.isStore {
 			m.sqCnt--
 		}
-		if e.in.Op == isa.OpWrpkru && m.Cfg.Mode == ModeSerialized {
-			m.serialWait = false
-		}
+		m.policy.OnSquashEntry(m, e)
 		m.Stats.Squashed++
 	}
 	m.alCnt = idx + 1
@@ -880,10 +792,7 @@ func (m *Machine) squashAfter(idx int, why string) {
 			youngestPkruSeq = e.seq
 		}
 	}
-	if m.Cfg.Mode != ModeSerialized {
-		m.PKRUState.SetRMT(youngestPkru)
-		m.lastRenamedWrpkruSeq = youngestPkruSeq
-	}
+	m.policy.OnSquashRecover(m, youngestPkru, youngestPkruSeq)
 }
 
 // ---------------------------------------------------------------------------
@@ -920,11 +829,7 @@ func (m *Machine) retireStage() {
 			m.lqCnt--
 			m.Stats.Loads++
 		case e.in.Op == isa.OpWrpkru:
-			if m.Cfg.Mode == ModeSerialized {
-				m.serialWait = false
-			} else {
-				m.PKRUState.Retire()
-			}
+			m.policy.OnRetireWrpkru(m, e)
 			m.Stats.Wrpkru++
 			m.emit(trace.Event{Kind: trace.KindWrpkruRetire, Seq: e.seq, PC: e.pc, N: e.storeData})
 		case e.in.Op == isa.OpRdpkru:
@@ -1021,11 +926,12 @@ func (m *Machine) reissueStoreAtHead(e *alEntry) {
 	m.checkMemOrder(0)
 }
 
-// commitStore writes the store to memory at retirement. For SpecMPK stores
-// that failed the PKRU Store Check (or missed the TLB), the precise
-// permission verification happens here. Returns false if a fault surfaced.
+// commitStore writes the store to memory at retirement. For stores whose
+// policy suppressed forwarding (failed Store Check, or a deferred TLB miss),
+// the precise permission verification against the committed PKRU happens
+// here. Returns false if a fault surfaced.
 func (m *Machine) commitStore(e *alEntry) bool {
-	if m.Cfg.Mode == ModeSpecMPK && e.noForward {
+	if e.noForward {
 		paddr, pte, err := m.AS.Translate(e.vaddr, mem.Write)
 		if err != nil {
 			e.fault = err.(*mem.Fault)

@@ -189,9 +189,9 @@ func TestBuildDeterministic(t *testing.T) {
 	}
 }
 
-// TestPipelineEquivalenceSample runs a subset of workloads through all three
-// microarchitectures and checks architectural equivalence with the
-// functional reference. (The full sweep happens in the benches.)
+// TestPipelineEquivalenceSample runs a subset of workloads through every
+// registered microarchitecture policy and checks architectural equivalence
+// with the functional reference. (The full sweep happens in the benches.)
 func TestPipelineEquivalenceSample(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
@@ -213,7 +213,7 @@ func TestPipelineEquivalenceSample(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, mode := range []pipeline.Mode{pipeline.ModeSerialized, pipeline.ModeNonSecure, pipeline.ModeSpecMPK} {
+		for _, mode := range pipeline.RegisteredModes() {
 			cfg := pipeline.DefaultConfig()
 			cfg.Mode = mode
 			m, err := pipeline.New(cfg, prog)
@@ -324,10 +324,11 @@ func TestBuildSeededReplications(t *testing.T) {
 	}
 }
 
-// TestPipelineEquivalenceFullCatalog is the heavyweight oracle: every
-// catalogue workload (paper set + extensions) must produce bit-identical
-// architectural state across the functional reference and all three
-// microarchitectures.
+// TestPipelineEquivalenceFullCatalog is the heavyweight oracle — and the
+// policy seam's differential test: every catalogue workload (paper set +
+// extensions) must produce bit-identical architectural state across the
+// functional reference and every registered microarchitecture policy,
+// including ones registered outside the pipeline package.
 func TestPipelineEquivalenceFullCatalog(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
@@ -377,7 +378,7 @@ func checkEquivalence(p Profile) error {
 	if err != nil {
 		return err
 	}
-	for _, mode := range []pipeline.Mode{pipeline.ModeSerialized, pipeline.ModeNonSecure, pipeline.ModeSpecMPK} {
+	for _, mode := range pipeline.RegisteredModes() {
 		cfg := pipeline.DefaultConfig()
 		cfg.Mode = mode
 		m, err := pipeline.New(cfg, prog)

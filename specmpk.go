@@ -34,10 +34,12 @@ import (
 	"specmpk/internal/workload"
 )
 
-// Mode selects the WRPKRU microarchitecture (paper §VII).
+// Mode selects the WRPKRU microarchitecture (paper §VII). A Mode is a handle
+// into the security-policy registry; ParseMode resolves names and
+// RegisterPolicy mints modes for new policies.
 type Mode = pipeline.Mode
 
-// The three evaluated microarchitectures.
+// The three microarchitectures the paper evaluates.
 const (
 	// Serialized models current hardware: WRPKRU drains the pipeline.
 	Serialized = pipeline.ModeSerialized
@@ -46,6 +48,28 @@ const (
 	// SpecMPK is the paper's secure speculative design.
 	SpecMPK = pipeline.ModeSpecMPK
 )
+
+// Policies added through the PKRUPolicy seam (no core-pipeline changes).
+var (
+	// DelayUpgrade is the Okapi-style design: loads that are permitted only
+	// by a transient (uncommitted) PKRU upgrade stall until non-speculative;
+	// stores keep executing and forwarding under the speculative view.
+	DelayUpgrade = pipeline.ModeDelayUpgrade
+	// NoForward is the forwarding-suppression-only ablation of SpecMPK:
+	// suspect stores lose store-to-load forwarding, nothing else.
+	NoForward = pipeline.ModeNoForward
+)
+
+// ParseMode resolves a policy name ("serialized", "specmpk", ...) to its
+// Mode; the error lists every registered name.
+func ParseMode(name string) (Mode, error) { return pipeline.ParseMode(name) }
+
+// RegisteredModes returns every registered policy's Mode in registration
+// order; PolicyNames returns the matching names.
+func RegisteredModes() []Mode { return pipeline.RegisteredModes() }
+
+// PolicyNames lists the registered policy names in registration order.
+func PolicyNames() []string { return pipeline.PolicyNames() }
 
 // Config is the machine configuration; DefaultConfig matches Table III.
 type Config = pipeline.Config
