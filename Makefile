@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet lint race bench fuzz-smoke check clean
+.PHONY: all build test vet lint race race-core bench fuzz-smoke profile-artifact check clean
 
 all: check
 
@@ -26,6 +26,17 @@ lint: vet
 
 race:
 	$(GO) test -race ./...
+
+# The observability core under the race detector: the stats registry,
+# trace ring, and the pipeline (profiler/audit hooks included).
+race-core:
+	$(GO) test -race ./internal/stats ./internal/trace ./internal/pipeline
+
+# The profile/differential experiment as machine-readable JSON; CI uploads
+# it as a build artifact so every push carries a browsable per-PC profile.
+profile-artifact:
+	$(GO) run ./cmd/specmpk-bench -workloads 520.omnetpp_r \
+		-modes serialized,specmpk -json profile > profile.json
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

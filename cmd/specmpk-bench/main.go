@@ -87,6 +87,10 @@ experiments:
   stats    unified metrics registry + CPI-stack per workload×mode, sweeping
            every registered policy incl. delayupgrade/noforward (with -json:
            every pipeline/cache/tlb/bpred metric per row; restrict via -modes)
+  profile  per-PC/per-block attribution of simulated time + pkey audit
+           ledger per workload×mode, plus the cross-policy differential of
+           each mode against the first (-modes a,b; default serialized,specmpk)
+  diff     only the cross-policy differential tables from profile
   all      everything above
 
 flags:
@@ -178,10 +182,22 @@ func run(r experiments.Runner, name string) error {
 			return err
 		}
 		fmt.Print(experiments.RenderStats(rows))
+	case "profile":
+		res, err := experiments.ProfileRun(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderProfile(res, 10))
+	case "diff":
+		res, err := experiments.ProfileRun(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderDiff(res, 10))
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4",
 			"fig9", "fig10", "fig11", "fig13", "hwcost", "vdom", "window",
-			"pkrusafe", "rdpkru", "stats"} {
+			"pkrusafe", "rdpkru", "stats", "profile"} {
 			if err := run(r, e); err != nil {
 				return err
 			}

@@ -16,9 +16,17 @@
 //	                      deltas (interval IPC etc.), final cumulative last
 //	-prom-out FILE        the same registry in Prometheus text exposition
 //	-trace-out FILE       structured event trace (squash, wrpkru_retire,
-//	                      head_replay, no_forward, tlb_defer) as JSONL
+//	                      head_replay, no_forward, tlb_defer, upgrade_open,
+//	                      upgrade_close) as JSONL
 //	-konata-out FILE      per-instruction stage timeline in the Kanata format
 //	                      (loadable by Konata / gem5-o3-pipeview viewers)
+//	-profile-out FILE     per-PC/per-block profile (retired + CPI-stack cycle
+//	                      attribution) and the pkey audit ledger as JSON
+//	-annotate             print the annotated disassembly and the top-PC /
+//	                      pkey-audit tables after the run
+//
+// All output paths are opened before the simulation starts, so a bad path
+// fails immediately instead of after minutes of simulated execution.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"specmpk/internal/isa"
 	"specmpk/internal/pipeline"
 	"specmpk/internal/pipeview"
+	"specmpk/internal/profile"
 	"specmpk/internal/stats"
 	"specmpk/internal/textplot"
 	"specmpk/internal/trace"
@@ -59,6 +68,8 @@ func main() {
 		traceBuf      = flag.Int("trace-buf", 1<<20, "event ring-buffer capacity for -trace-out (oldest dropped)")
 		konataOut     = flag.String("konata-out", "", "write a Kanata-format pipeline trace to this file")
 		konataN       = flag.Uint64("konata-n", 10_000, "retired instructions captured for -konata-out")
+		profileOut    = flag.String("profile-out", "", "write the per-PC profile and pkey audit ledger as JSON to this file")
+		annotate      = flag.Bool("annotate", false, "print the annotated disassembly, top-PC table and pkey audit ledger after the run")
 	)
 	flag.Parse()
 
@@ -68,6 +79,32 @@ func main() {
 				p.Name, p.Suite, p.Scheme, p.TargetWrpkruPerKilo)
 		}
 		return
+	}
+
+	// Open every output file before simulating, so a bad path fails
+	// immediately instead of after minutes of simulated execution.
+	var out struct {
+		stats, prom, trace, konata, profile *os.File
+	}
+	for _, o := range []struct {
+		flag string
+		path string
+		dst  **os.File
+	}{
+		{"-stats-out", *statsOut, &out.stats},
+		{"-prom-out", *promOut, &out.prom},
+		{"-trace-out", *traceOut, &out.trace},
+		{"-konata-out", *konataOut, &out.konata},
+		{"-profile-out", *profileOut, &out.profile},
+	} {
+		f, err := createOut(o.flag, o.path)
+		if err != nil {
+			fatal(err)
+		}
+		*o.dst = f
+	}
+	if out.trace != nil && *traceBuf <= 0 {
+		fatal(fmt.Errorf("-trace-buf must be positive (got %d)", *traceBuf))
 	}
 
 	prog, err := buildProgram(*wl, *asmFile, *variant)
@@ -104,10 +141,7 @@ func main() {
 			count++
 		}
 	}
-	if *traceOut != "" {
-		if *traceBuf <= 0 {
-			fatal(fmt.Errorf("-trace-buf must be positive (got %d)", *traceBuf))
-		}
+	if out.trace != nil {
 		m.Events = trace.NewRing(*traceBuf)
 	}
 	// One stage-record capture feeds both the pipeview renderer and the
@@ -126,10 +160,19 @@ func main() {
 	}
 
 	reg := m.StatsRegistry()
+	var prof *profile.Profiler
+	var ledger *profile.Ledger
+	if out.profile != nil || *annotate {
+		prof = profile.New(prog)
+		ledger = profile.NewLedger()
+		m.Prof = prof
+		m.Audit = ledger
+		ledger.Register(reg)
+	}
 	var runErr error
 	switch {
-	case *statsInterval > 0 && *statsOut != "":
-		runErr = runWithIntervals(m, reg, *statsOut, *statsInterval, *maxCyc)
+	case *statsInterval > 0 && out.stats != nil:
+		runErr = runWithIntervals(m, reg, out.stats, *statsInterval, *maxCyc)
 	case *timeline:
 		const sample = 1000
 		var ipcs []float64
@@ -154,33 +197,58 @@ func main() {
 		}
 		fmt.Print(pipeview.Render(n, 100))
 	}
-	if *konataOut != "" {
-		if err := writeKonata(*konataOut, recs, *konataN); err != nil {
+	if out.konata != nil {
+		if err := writeKonata(out.konata, recs, *konataN); err != nil {
 			fatal(err)
 		}
 	}
-	if *statsOut != "" && *statsInterval == 0 {
-		if err := writeFile(*statsOut, func(f *os.File) error {
+	if out.stats != nil && *statsInterval == 0 {
+		if err := finishOut(out.stats, func(f *os.File) error {
 			return reg.Snapshot().WriteJSON(f)
 		}); err != nil {
 			fatal(err)
 		}
 	}
-	if *promOut != "" {
-		if err := writeFile(*promOut, func(f *os.File) error {
+	if out.prom != nil {
+		if err := finishOut(out.prom, func(f *os.File) error {
 			return reg.Snapshot().WritePrometheus(f)
 		}); err != nil {
 			fatal(err)
 		}
 	}
-	if *traceOut != "" {
-		if err := writeFile(*traceOut, func(f *os.File) error {
+	if out.trace != nil {
+		if err := finishOut(out.trace, func(f *os.File) error {
 			return trace.WriteJSONL(f, m.Events.Events())
 		}); err != nil {
 			fatal(err)
 		}
 		if d := m.Events.Dropped(); d > 0 {
 			fmt.Fprintf(os.Stderr, "specmpk-sim: event ring overflowed; oldest %d events dropped (raise -trace-buf)\n", d)
+		}
+	}
+	if prof != nil {
+		rep := prof.Report()
+		if out.profile != nil {
+			if err := finishOut(out.profile, func(f *os.File) error {
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				return enc.Encode(struct {
+					Mode   string              `json:"mode"`
+					Report *profile.Report     `json:"profile"`
+					Audit  []profile.LedgerRow `json:"audit"`
+				}{cfg.Mode.String(), rep, ledger.Rows()})
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		if *annotate {
+			fmt.Println()
+			profile.Annotate(os.Stdout, prog, rep)
+			fmt.Println()
+			rep.Table(os.Stdout, 10)
+			fmt.Println("\npkey audit ledger:")
+			ledger.Table(os.Stdout)
+			fmt.Println()
 		}
 	}
 	printStats(m, cfg)
@@ -200,11 +268,7 @@ type intervalRow struct {
 // JSONL line per chunk with that interval's metric deltas (rate formulas are
 // re-evaluated over the delta, so pipeline.ipc is the interval IPC), and a
 // final cumulative snapshot marked "final".
-func runWithIntervals(m *pipeline.Machine, reg *stats.Registry, path string, interval, maxCyc uint64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
+func runWithIntervals(m *pipeline.Machine, reg *stats.Registry, f *os.File, interval, maxCyc uint64) error {
 	defer f.Close()
 	enc := json.NewEncoder(f)
 	prev := reg.Snapshot()
@@ -263,7 +327,7 @@ func buildProgram(wl, asmFile, variant string) (*asm.Program, error) {
 	return nil, fmt.Errorf("need -workload or -asm (or -list)")
 }
 
-func writeKonata(path string, recs []pipeline.TraceRecord, n uint64) error {
+func writeKonata(f *os.File, recs []pipeline.TraceRecord, n uint64) error {
 	if uint64(len(recs)) > n {
 		recs = recs[:n]
 	}
@@ -275,16 +339,27 @@ func writeKonata(path string, recs []pipeline.TraceRecord, n uint64) error {
 			Complete: r.Complete, Retire: r.Retire,
 		}
 	}
-	return writeFile(path, func(f *os.File) error {
+	return finishOut(f, func(f *os.File) error {
 		return trace.WriteKonata(f, srs)
 	})
 }
 
-func writeFile(path string, fn func(*os.File) error) error {
+// createOut opens an output file named by flagName, or returns nil for an
+// unset flag. Called before the simulation starts so path errors surface
+// up front.
+func createOut(flagName, path string) (*os.File, error) {
+	if path == "" {
+		return nil, nil
+	}
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("%s: %w", flagName, err)
 	}
+	return f, nil
+}
+
+// finishOut writes through fn and closes the file, reporting the first error.
+func finishOut(f *os.File, fn func(*os.File) error) error {
 	if err := fn(f); err != nil {
 		f.Close()
 		return err

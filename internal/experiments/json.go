@@ -56,6 +56,14 @@ func RowsFor(r Runner, name string) (any, error) {
 		return PKRUSafe()
 	case "stats":
 		return StatsRows(r)
+	case "profile":
+		return ProfileRun(r)
+	case "diff":
+		res, err := ProfileRun(r)
+		if err != nil {
+			return nil, err
+		}
+		return res.Diffs, nil
 	}
 	return nil, fmt.Errorf("experiments: no JSON rows for %q", name)
 }

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"specmpk/internal/pipeline"
+)
+
+// TestProfileDifferential pins the tentpole acceptance criterion at the
+// experiment level: profiling 520.omnetpp_r under serialized and specmpk
+// yields a differential whose top serialized-mode delta contributor is a
+// WRPKRU site, attributed to the serialize bucket.
+func TestProfileDifferential(t *testing.T) {
+	r := Runner{
+		Workloads: []string{"520.omnetpp_r"},
+		Modes:     []pipeline.Mode{pipeline.ModeSerialized, pipeline.ModeSpecMPK},
+	}
+	res, err := ProfileRun(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 (one per mode)", len(res.Rows))
+	}
+	if len(res.Diffs) != 1 {
+		t.Fatalf("%d diffs, want 1", len(res.Diffs))
+	}
+	d := res.Diffs[0].Diff
+	if d.ModeA != "serialized" || d.ModeB != "specmpk" {
+		t.Fatalf("diff modes %s vs %s", d.ModeA, d.ModeB)
+	}
+	if len(d.Rows) == 0 {
+		t.Fatal("empty differential")
+	}
+	top := d.Rows[0]
+	if !strings.Contains(top.Disasm, "wrpkru") {
+		t.Errorf("top delta contributor %q at 0x%x, want a wrpkru site", top.Disasm, top.PC)
+	}
+	if top.CPIA.Serialize == 0 {
+		t.Errorf("top contributor has no serialize cycles under serialized: %+v", top.CPIA)
+	}
+	if gap := int64(d.TotalA.Sum()) - int64(d.TotalB.Sum()); gap <= 0 {
+		t.Errorf("serialized should be slower than specmpk on the dense workload (gap %d)", gap)
+	}
+
+	// Each per-mode row carries a consistent profile and audit ledger.
+	for _, row := range res.Rows {
+		if row.Report.Total.Sum() != row.Cycles {
+			t.Errorf("%s/%s: profile attributes %d cycles, machine ran %d",
+				row.Workload, row.Mode, row.Report.Total.Sum(), row.Cycles)
+		}
+		if row.Report.Retired != row.Insts {
+			t.Errorf("%s/%s: profile retired %d, machine retired %d",
+				row.Workload, row.Mode, row.Report.Retired, row.Insts)
+		}
+		if len(row.Ledger) == 0 || row.Ledger[len(row.Ledger)-1].Pkey != "total" {
+			t.Errorf("%s/%s: ledger missing total row", row.Workload, row.Mode)
+		}
+	}
+	// Only the renamed design opens transient-upgrade windows.
+	byMode := map[string]ProfileRow{}
+	for _, row := range res.Rows {
+		byMode[row.Mode] = row
+	}
+	if n := byMode["serialized"].Ledger[len(byMode["serialized"].Ledger)-1].UpgradesOpened; n != 0 {
+		t.Errorf("serialized opened %d transient windows, want 0", n)
+	}
+	if n := byMode["specmpk"].Ledger[len(byMode["specmpk"].Ledger)-1].UpgradesOpened; n == 0 {
+		t.Error("specmpk opened no transient windows on the dense workload")
+	}
+
+	out := RenderProfile(res, 5)
+	for _, want := range []string{"pkey audit ledger", "differential", "wrpkru", "per-PC cycle delta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderProfile output lacks %q", want)
+		}
+	}
+}

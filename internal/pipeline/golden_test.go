@@ -15,13 +15,15 @@ import (
 var updateGolden = flag.Bool("update", false,
 	"rewrite testdata/golden_stats.json from the current simulator")
 
-// The golden matrix: the three paper microarchitectures over one
+// The golden matrix: every registered microarchitecture policy — the three
+// paper machines plus the delayupgrade and noforward extensions — over one
 // shadow-stack and one code-pointer-integrity workload. Small enough to run
 // in every `go test`, diverse enough to exercise every WRPKRU interaction
 // point (rename gating, ROB_pkru pressure, load/store checks, forwarding
 // suppression, TLB deferral).
 var (
-	goldenModes     = []pipeline.Mode{pipeline.ModeSerialized, pipeline.ModeNonSecure, pipeline.ModeSpecMPK}
+	goldenModes = []pipeline.Mode{pipeline.ModeSerialized, pipeline.ModeNonSecure,
+		pipeline.ModeSpecMPK, pipeline.ModeDelayUpgrade, pipeline.ModeNoForward}
 	goldenWorkloads = []string{"548.exchange2_r", "471.omnetpp"}
 )
 

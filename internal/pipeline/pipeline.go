@@ -307,6 +307,11 @@ type alEntry struct {
 	tlbDeferred     bool // SpecMPK: TLB fill deferred to retirement
 
 	fault *mem.Fault // delivered at retirement
+
+	// Audit bookkeeping (only written when Machine.Audit is attached).
+	stallCyc uint64 // cycle a stall/no-forward/defer window opened
+	upgCyc   uint64 // cycle this WRPKRU's transient-upgrade window opened
+	upgMask  uint16 // pkeys this WRPKRU transiently upgrades vs the ARF
 }
 
 // FaultAction mirrors funcsim's fault-handler verdicts.
@@ -362,6 +367,19 @@ type Machine struct {
 	// (cmd/specmpk-sim -trace-out). Nil disables the layer entirely.
 	Events *trace.Ring
 
+	// Prof, when non-nil, receives the per-PC profiler feed: every cycle's
+	// CPI-stack attribution together with the program location responsible,
+	// and every retired PC (see ProfileSink; internal/profile implements
+	// it). Nil disables the layer entirely.
+	Prof ProfileSink
+
+	// Audit, when non-nil, receives pkey security audit events — transient
+	// PKRU-upgrade windows opening and closing, loads stalled to the window
+	// head, forwarding suppression, deferred TLB fills — with simulated-time
+	// durations (see AuditSink; internal/profile's Ledger implements it).
+	// Nil disables the layer entirely.
+	Audit AuditSink
+
 	// Front end.
 	tage *bpred.TAGE
 	btb  *bpred.BTB
@@ -409,6 +427,8 @@ type Machine struct {
 	// CPI-stack accounting (one bucket per Step; see accountCycle).
 	retiredThisCycle int
 	renameBlock      stallReason // why rename made no progress this cycle
+	renameBlockPC    uint64      // PC of the instruction rename blocked on
+	firstRetiredPC   uint64      // oldest PC retired this cycle
 	recoverUntil     uint64      // squash-redirect shadow end cycle
 
 	// loadLat observes every executed load's latency; reg is the lazily
@@ -618,25 +638,48 @@ func (m *Machine) Step() {
 // figures single out); a non-empty window attributes to its oldest
 // instruction (memory vs execution latency); an empty window is a squash
 // bubble inside the redirect shadow, frontend starvation otherwise.
+//
+// When a ProfileSink is attached, the same single-bucket attribution is
+// forwarded together with the responsible PC (see ProfileSink for the
+// per-bucket PC rule), so a sink's per-PC sums reconstruct Stats.CPI exactly.
 func (m *Machine) accountCycle() {
 	c := &m.Stats.CPI
+	b := BucketBase
+	var pc uint64
 	switch {
 	case m.retiredThisCycle > 0:
 		c.Base++
+		pc = m.firstRetiredPC
 	case m.renameBlock == stallSerialize:
 		c.Serialize++
+		b = BucketSerialize
+		if m.Prof != nil {
+			pc = m.serializeSitePC()
+		}
 	case m.renameBlock == stallPkruFull:
 		c.PkruFull++
+		b = BucketPkruFull
+		pc = m.renameBlockPC
 	case m.alCnt > 0:
-		if e := m.alAt(0); e.isLoad || e.isStore {
+		e := m.alAt(0)
+		if e.isLoad || e.isStore {
 			c.Memory++
+			b = BucketMemory
 		} else {
 			c.Base++
 		}
+		pc = e.pc
 	case m.cycle <= m.recoverUntil:
 		c.SquashRecovery++
+		b = BucketSquashRecovery
+		pc = m.pc
 	default:
 		c.Frontend++
+		b = BucketFrontend
+		pc = m.pc
+	}
+	if m.Prof != nil {
+		m.Prof.CycleAttributed(b, pc)
 	}
 }
 

@@ -154,6 +154,9 @@ func (m *Machine) renameStage() {
 			break
 		}
 		wanted = true
+		// If this iteration breaks, fe is the instruction rename blocked on;
+		// accountCycle attributes serialize/rob_pkru_full cycles to it.
+		m.renameBlockPC = fe.pc
 		in := fe.in
 		// Structural resources.
 		if m.alCnt == len(m.al) || iqOcc >= m.Cfg.IQSize {
@@ -499,8 +502,11 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 			// conservatively stalls and re-executes at the AL head.
 			e.stallTillHead = true
 			e.tlbDeferred = true
+			e.stallCyc = m.cycle
 			m.Stats.LoadsStalledTillHead++
 			m.emit(trace.Event{Kind: trace.KindTLBDefer, Seq: e.seq, PC: e.pc, Note: "load"})
+			m.audit(AuditEvent{Kind: AuditTLBDefer, Pkey: PkeyUnknown, PC: e.pc, Seq: e.seq})
+			m.audit(AuditEvent{Kind: AuditLoadStall, Pkey: PkeyUnknown, PC: e.pc, Seq: e.seq, Reason: "tlb_defer"})
 			return
 		}
 		lat += m.DTLB.WalkLatency()
@@ -526,7 +532,9 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 		// PKRU Load Check failed: stall until non-squashable, leaving
 		// no cache or TLB footprint.
 		e.stallTillHead = true
+		e.stallCyc = m.cycle
 		m.Stats.LoadsStalledTillHead++
+		m.audit(AuditEvent{Kind: AuditLoadStall, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Reason: "load_check"})
 		return
 	case GateFault:
 		m.finishFaulted(e, pkeyFault(e.vaddr, mem.Read, e.pkey), lat)
@@ -549,8 +557,10 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 			// Forwarding suppressed; the load waits for the head
 			// (by which time the store has committed to memory).
 			e.stallTillHead = true
+			e.stallCyc = m.cycle
 			m.Stats.ForwardBlockedLoads++
 			m.Stats.LoadsStalledTillHead++
+			m.audit(AuditEvent{Kind: AuditLoadStall, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Reason: "forward_blocked"})
 			return
 		}
 		if s.vaddr == e.vaddr && s.memBytes == e.memBytes {
@@ -567,7 +577,9 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 		}
 		// Partial overlap: conservative.
 		e.stallTillHead = true
+		e.stallCyc = m.cycle
 		m.Stats.LoadsStalledTillHead++
+		m.audit(AuditEvent{Kind: AuditLoadStall, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Reason: "partial_forward"})
 		return
 	}
 
@@ -641,9 +653,12 @@ func (m *Machine) storeExecute(e *alEntry, rs1, rs2 uint64) {
 		// retirement; suppress forwarding meanwhile.
 		e.tlbDeferred = true
 		e.noForward = true
+		e.stallCyc = m.cycle
 		m.Stats.StoresNoForward++
 		m.emit(trace.Event{Kind: trace.KindTLBDefer, Seq: e.seq, PC: e.pc, Note: "store"})
 		m.emit(trace.Event{Kind: trace.KindNoForward, Seq: e.seq, PC: e.pc, Note: "tlb_miss"})
+		m.audit(AuditEvent{Kind: AuditTLBDefer, Pkey: PkeyUnknown, PC: e.pc, Seq: e.seq, Store: true})
+		m.audit(AuditEvent{Kind: AuditNoForward, Pkey: PkeyUnknown, PC: e.pc, Seq: e.seq, Store: true, Reason: "tlb_miss"})
 	} else {
 		e.pkey = int(pte.PKey)
 		e.paddr = pte.PPN<<mem.PageBits | e.vaddr&(mem.PageSize-1)
@@ -655,8 +670,10 @@ func (m *Machine) storeExecute(e *alEntry, rs1, rs2 uint64) {
 				// Store Check failed: no forwarding; precise permission
 				// re-verification happens at retirement (commitStore).
 				e.noForward = true
+				e.stallCyc = m.cycle
 				m.Stats.StoresNoForward++
 				m.emit(trace.Event{Kind: trace.KindNoForward, Seq: e.seq, PC: e.pc, Note: "store_check"})
+				m.audit(AuditEvent{Kind: AuditNoForward, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Store: true, Reason: "store_check"})
 			case GateFault:
 				e.fault = pkeyFault(e.vaddr, mem.Write, e.pkey)
 			}
@@ -696,6 +713,9 @@ func (m *Machine) completeStage() {
 		}
 		switch {
 		case e.in.Op == isa.OpWrpkru:
+			// Open the audit ledger's transient-upgrade windows against the
+			// still-committed ARF before the policy delivers the value.
+			m.auditUpgradeOpen(e)
 			m.policy.WrpkruExecute(m, e)
 		case e.in.Op.IsControl():
 			if m.resolveControl(e, i) {
@@ -766,6 +786,7 @@ func (m *Machine) squashAfter(idx int, why string) {
 		if e.pkruDst >= 0 {
 			m.PKRUState.SquashYoungest()
 		}
+		m.auditUpgradeClose(e, false)
 		if e.isLoad {
 			m.lqCnt--
 		}
@@ -830,6 +851,7 @@ func (m *Machine) retireStage() {
 			m.Stats.Loads++
 		case e.in.Op == isa.OpWrpkru:
 			m.policy.OnRetireWrpkru(m, e)
+			m.auditUpgradeClose(e, true)
 			m.Stats.Wrpkru++
 			m.emit(trace.Event{Kind: trace.KindWrpkruRetire, Seq: e.seq, PC: e.pc, N: e.storeData})
 		case e.in.Op == isa.OpRdpkru:
@@ -863,8 +885,14 @@ func (m *Machine) retireStage() {
 		m.alHead = (m.alHead + 1) % len(m.al)
 		m.alCnt--
 		retired++
+		if m.retiredThisCycle == 0 {
+			m.firstRetiredPC = e.pc
+		}
 		m.retiredThisCycle++
 		m.Stats.Insts++
+		if m.Prof != nil {
+			m.Prof.Retired(e.pc)
+		}
 	}
 }
 
@@ -888,6 +916,13 @@ func (m *Machine) reissueAtHead(e *alEntry) {
 	m.DTLB.Fill(vpn, pte) // deferred TLB update happens now
 	e.paddr = paddr
 	e.pkey = int(pte.PKey)
+	if m.Audit != nil {
+		d := m.cycle - e.stallCyc
+		m.audit(AuditEvent{Kind: AuditLoadReplay, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Duration: d})
+		if e.tlbDeferred {
+			m.audit(AuditEvent{Kind: AuditTLBFill, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Duration: d})
+		}
+	}
 	if !m.PKRUState.ARF().Allows(e.pkey, false) {
 		m.finishFaulted(e, pkeyFault(e.vaddr, mem.Read, e.pkey), lat)
 		return
@@ -941,6 +976,13 @@ func (m *Machine) commitStore(e *alEntry) bool {
 		m.DTLB.Fill(e.vaddr>>mem.PageBits, pte)
 		e.paddr = paddr
 		e.pkey = int(pte.PKey)
+		if m.Audit != nil {
+			d := m.cycle - e.stallCyc
+			m.audit(AuditEvent{Kind: AuditNoForwardCommit, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Store: true, Duration: d})
+			if e.tlbDeferred {
+				m.audit(AuditEvent{Kind: AuditTLBFill, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Store: true, Duration: d})
+			}
+		}
 		if !m.PKRUState.ARF().Allows(e.pkey, true) {
 			e.fault = pkeyFault(e.vaddr, mem.Write, e.pkey)
 			m.deliverFault(e)

@@ -1,0 +1,104 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"specmpk/internal/pipeline"
+	"specmpk/internal/textplot"
+)
+
+// DiffRow is one PC's cycle gap between two policies. Delta is
+// CyclesA - CyclesB, so with the slower policy as A the hottest overhead
+// sites sort first.
+type DiffRow struct {
+	PC      uint64            `json:"pc"`
+	Func    string            `json:"func,omitempty"`
+	Disasm  string            `json:"disasm,omitempty"`
+	CyclesA uint64            `json:"cycles_a"`
+	CyclesB uint64            `json:"cycles_b"`
+	Delta   int64             `json:"delta"`
+	CPIA    pipeline.CPIStack `json:"cpi_a"`
+	CPIB    pipeline.CPIStack `json:"cpi_b"`
+}
+
+// DiffReport is the cross-policy differential: the same workload profiled
+// under two registered policies, attributed per PC.
+type DiffReport struct {
+	ModeA  string            `json:"mode_a"`
+	ModeB  string            `json:"mode_b"`
+	Rows   []DiffRow         `json:"rows"` // sorted by Delta descending
+	TotalA pipeline.CPIStack `json:"total_a"`
+	TotalB pipeline.CPIStack `json:"total_b"`
+}
+
+// Diff builds the differential between two single-mode reports of the same
+// workload. Pass the slower (baseline) policy as A so the ranked table
+// leads with the sites that pay for A's policy.
+func Diff(modeA string, a *Report, modeB string, b *Report) *DiffReport {
+	d := &DiffReport{ModeA: modeA, ModeB: modeB, TotalA: a.Total, TotalB: b.Total}
+	merged := map[uint64]*DiffRow{}
+	add := func(r Row, isA bool) {
+		m := merged[r.PC]
+		if m == nil {
+			m = &DiffRow{PC: r.PC, Func: r.Func, Disasm: r.Disasm}
+			merged[r.PC] = m
+		}
+		if m.Disasm == "" {
+			m.Func, m.Disasm = r.Func, r.Disasm
+		}
+		if isA {
+			m.CyclesA, m.CPIA = r.Cycles, r.CPI
+		} else {
+			m.CyclesB, m.CPIB = r.Cycles, r.CPI
+		}
+	}
+	for _, r := range a.Rows {
+		add(r, true)
+	}
+	for _, r := range b.Rows {
+		add(r, false)
+	}
+	for _, m := range merged {
+		m.Delta = int64(m.CyclesA) - int64(m.CyclesB)
+		d.Rows = append(d.Rows, *m)
+	}
+	sort.Slice(d.Rows, func(i, j int) bool {
+		if d.Rows[i].Delta != d.Rows[j].Delta {
+			return d.Rows[i].Delta > d.Rows[j].Delta
+		}
+		return d.Rows[i].PC < d.Rows[j].PC
+	})
+	return d
+}
+
+// Table writes the ranked per-PC delta table, annotated with disassembly.
+func (d *DiffReport) Table(w io.Writer, topN int) {
+	if topN <= 0 || topN > len(d.Rows) {
+		topN = len(d.Rows)
+	}
+	sumA, sumB := d.TotalA.Sum(), d.TotalB.Sum()
+	fmt.Fprintf(w, "cycle delta per PC: %s (%d cycles) vs %s (%d cycles), gap %d\n",
+		d.ModeA, sumA, d.ModeB, sumB, int64(sumA)-int64(sumB))
+	fmt.Fprintf(w, "%-4s %-10s %10s %10s %10s  %-24s %s\n",
+		"#", "pc", "delta", d.ModeA, d.ModeB, "hottest buckets ("+d.ModeA+")", "disasm")
+	for i, r := range d.Rows[:topN] {
+		loc := r.Disasm
+		if r.Func != "" {
+			loc = fmt.Sprintf("<%s> %s", r.Func, r.Disasm)
+		}
+		fmt.Fprintf(w, "%-4d 0x%-8x %+10d %10d %10d  %-24s %s\n",
+			i+1, r.PC, r.Delta, r.CyclesA, r.CyclesB, topBuckets(r.CPIA), loc)
+	}
+}
+
+// Histogram renders the distribution of per-PC deltas as a textplot.
+func (d *DiffReport) Histogram(bins, width int) string {
+	vals := make([]float64, 0, len(d.Rows))
+	for _, r := range d.Rows {
+		vals = append(vals, float64(r.Delta))
+	}
+	title := fmt.Sprintf("per-PC cycle delta, %s - %s", d.ModeA, d.ModeB)
+	return textplot.Histogram(title, vals, bins, width)
+}

@@ -117,6 +117,61 @@ func Timeline(title string, samples []float64, width int) string {
 	return b.String()
 }
 
+// Histogram renders a vertical-bar frequency histogram of values over bins
+// equal-width bins. Used by the differential profiler to show how the
+// per-PC cycle gap between two policies is distributed.
+func Histogram(title string, values []float64, bins, width int) string {
+	if len(values) == 0 {
+		return title + ": (no values)\n"
+	}
+	if bins <= 0 {
+		bins = 10
+	}
+	if width <= 0 {
+		width = 40
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	counts := make([]int, bins)
+	for _, v := range values {
+		i := int((v - lo) / span * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		counts[i]++
+	}
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", title, len(values))
+	for i, c := range counts {
+		bLo := lo + span*float64(i)/float64(bins)
+		bHi := lo + span*float64(i+1)/float64(bins)
+		n := int(math.Round(float64(c) / float64(maxC) * float64(width)))
+		fmt.Fprintf(&b, "[%11.1f, %11.1f) %s %d\n", bLo, bHi,
+			strings.Repeat("█", n)+strings.Repeat("·", width-n), c)
+	}
+	return b.String()
+}
+
 // Latency renders a probe-latency scatter: one column per index bucket,
 // with hits (below threshold) marked. Exactly the shape of the paper's
 // Fig. 13.

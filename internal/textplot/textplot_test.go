@@ -93,3 +93,29 @@ func TestTimeline(t *testing.T) {
 		t.Fatalf("downsampled:\n%s", out)
 	}
 }
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("deltas", []float64{0, 1, 2, 3, 10, 10, 10}, 5, 20)
+	if !strings.Contains(out, "deltas (n=7)") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + 5 bins
+		t.Fatalf("%d lines, want 6:\n%s", len(lines), out)
+	}
+	// The modal bin (three 10s) gets the full bar; each line ends in its count.
+	if !strings.Contains(out, strings.Repeat("█", 20)+" 3") {
+		t.Fatalf("modal bin not full-width:\n%s", out)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if out := Histogram("t", nil, 4, 10); !strings.Contains(out, "no values") {
+		t.Fatalf("empty input: %q", out)
+	}
+	// All-equal values must not divide by zero and land in one bin.
+	out := Histogram("t", []float64{5, 5, 5}, 4, 10)
+	if !strings.Contains(out, " 3") {
+		t.Fatalf("constant values not counted:\n%s", out)
+	}
+}

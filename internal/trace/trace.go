@@ -36,6 +36,12 @@ const (
 	// KindTLBDefer is a memory access whose TLB fill was deferred to
 	// retirement (SpecMPK §V-C5).
 	KindTLBDefer Kind = "tlb_defer"
+	// KindUpgradeOpen is an executed WRPKRU transiently granting a pkey a
+	// permission the committed ARF denies; N carries the pkey.
+	KindUpgradeOpen Kind = "upgrade_open"
+	// KindUpgradeClose closes a transient-upgrade window; N carries the
+	// pkey, Note whether it closed by "commit" or "squash".
+	KindUpgradeClose Kind = "upgrade_close"
 )
 
 // Event is one microarchitectural occurrence.
@@ -103,9 +109,15 @@ func (r *Ring) CountByKind() map[Kind]uint64 {
 
 // WriteJSONL writes one JSON object per line per event.
 func WriteJSONL(w io.Writer, events []Event) error {
+	return WriteJSONLRows(w, events)
+}
+
+// WriteJSONLRows writes any row slice as JSON Lines — the export path the
+// profiler and audit ledger share with the event trace.
+func WriteJSONLRows[T any](w io.Writer, rows []T) error {
 	enc := json.NewEncoder(w)
-	for _, e := range events {
-		if err := enc.Encode(e); err != nil {
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
 	}

@@ -134,3 +134,57 @@ func TestNewRingPanicsOnZero(t *testing.T) {
 	}()
 	NewRing(0)
 }
+
+func TestRingWraparoundJSONLWellFormed(t *testing.T) {
+	// Fill far past capacity — several full wraps plus a partial one — and
+	// assert the survivors are exactly the newest `cap` events in order and
+	// that the JSONL export of a wrapped ring stays well-formed.
+	const capacity = 7
+	const emitted = 3*capacity + 4
+	r := NewRing(capacity)
+	for i := 0; i < emitted; i++ {
+		r.Emit(Event{Cycle: uint64(i), Kind: KindTLBDefer, Seq: uint64(i), Note: "w"})
+	}
+	if r.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", r.Len(), capacity)
+	}
+	if want := uint64(emitted - capacity); r.Dropped() != want {
+		t.Fatalf("Dropped = %d, want %d", r.Dropped(), want)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	next := uint64(emitted - capacity) // oldest survivor
+	lines := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("malformed JSONL line %q: %v", sc.Text(), err)
+		}
+		if e.Cycle != next || e.Seq != next {
+			t.Fatalf("line %d: got cycle %d, want %d (oldest-first order)", lines, e.Cycle, next)
+		}
+		next++
+		lines++
+	}
+	if lines != capacity {
+		t.Fatalf("exported %d lines, want %d", lines, capacity)
+	}
+}
+
+func TestWriteJSONLRows(t *testing.T) {
+	type row struct {
+		Name string `json:"name"`
+		N    int    `json:"n"`
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONLRows(&buf, []row{{"a", 1}, {"b", 2}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"name\":\"a\",\"n\":1}\n{\"name\":\"b\",\"n\":2}\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
