@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet lint race race-core bench fuzz-smoke profile-artifact check clean
+.PHONY: all build test vet lint race race-core race-server e2e-smoke bench fuzz-smoke profile-artifact check clean
 
 all: check
 
@@ -31,6 +31,16 @@ race:
 # trace ring, and the pipeline (profiler/audit hooks included).
 race-core:
 	$(GO) test -race ./internal/stats ./internal/trace ./internal/pipeline
+
+# The service layer under the race detector: queue, worker pool, cache,
+# dedup, and the HTTP/streaming handlers all share state across goroutines.
+race-server:
+	$(GO) test -race ./internal/server/...
+
+# Full-stack service smoke: build specmpkd, submit an experiment through
+# specmpk-bench -remote twice, assert a cache hit, and drain on SIGTERM.
+e2e-smoke:
+	sh scripts/e2e_smoke.sh
 
 # The profile/differential experiment as machine-readable JSON; CI uploads
 # it as a build artifact so every push carries a browsable per-PC profile.

@@ -2,27 +2,42 @@
 //
 // Usage:
 //
-//	specmpk-bench [-workloads a,b,c] [-parallel N] <experiment>...
+//	specmpk-bench [-workloads a,b,c] [-j N] <experiment>...
+//	specmpk-bench -remote host:8351 stats fig9 ...
 //
 // Experiments: table1 table2 table3 fig3 fig4 fig9 fig10 fig11 fig13 hwcost
 // all. Each prints the same rows/series the paper reports, plus the paper's
 // quoted aggregate for comparison.
+//
+// With -remote, pipeline simulations are batch-submitted as jobs to a
+// specmpkd daemon instead of running in-process; the daemon's
+// content-addressed cache answers repeated specs (e.g. the serialized
+// baseline shared by fig3/fig9/fig11) without re-simulating. Experiments
+// that need more than a detailed pipeline run — fig10 (functional
+// simulation), fig13 (attack PoC), profile/diff — always run locally.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"specmpk/internal/experiments"
 	"specmpk/internal/pipeline"
+	"specmpk/internal/server/api"
+	"specmpk/internal/server/client"
+	"specmpk/internal/workload"
 )
 
 func main() {
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all)")
 	modes := flag.String("modes", "", "comma-separated policy subset for mode sweeps (default: all registered: "+strings.Join(pipeline.PolicyNames(), ",")+")")
-	parallel := flag.Int("parallel", 0, "concurrent simulations (default: GOMAXPROCS)")
+	jobs := flag.Int("j", 0, fmt.Sprintf("concurrent simulations (default: GOMAXPROCS, %d here)", runtime.GOMAXPROCS(0)))
+	parallel := flag.Int("parallel", 0, "alias for -j (kept for compatibility)")
+	remote := flag.String("remote", "", "run pipeline simulations on a specmpkd daemon at this address instead of in-process")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON rows instead of tables")
 	flag.Usage = usage
 	flag.Parse()
@@ -30,9 +45,15 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	r := experiments.Runner{Parallelism: *parallel}
+	if *jobs == 0 {
+		*jobs = *parallel
+	}
+	r := experiments.Runner{Parallelism: *jobs}
 	if *workloads != "" {
 		r.Workloads = strings.Split(*workloads, ",")
+	}
+	if *remote != "" {
+		r.Sim = remoteSim(client.New(*remote))
 	}
 	if *modes != "" {
 		for _, name := range strings.Split(*modes, ",") {
@@ -55,6 +76,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "specmpk-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+}
+
+// remoteSim adapts a specmpkd client into the experiments.SimFunc seam: one
+// simulation request becomes one daemon job. The daemon dedups identical
+// in-flight specs and serves repeats from its result cache, so a sweep whose
+// experiments share baselines costs each unique spec exactly once.
+func remoteSim(c *client.Client) experiments.SimFunc {
+	return func(p workload.Profile, v workload.Variant, cfg pipeline.Config) (experiments.SimResult, error) {
+		res, _, err := c.Run(context.Background(), api.SpecFor(p.Name, v, cfg))
+		if err != nil {
+			return experiments.SimResult{}, fmt.Errorf("%s/%v/%v: %w", p.Name, v, cfg.Mode, err)
+		}
+		// Local runs treat a budget-bounded (non-halting) workload as an
+		// error; mirror that so remote sweeps fail the same way.
+		if res.StopReason != string(pipeline.StopHalt) {
+			return experiments.SimResult{}, fmt.Errorf("%s/%v/%v: remote run stopped with %q",
+				p.Name, v, cfg.Mode, res.StopReason)
+		}
+		return experiments.SimResult{Stats: res.Stats, Metrics: res.Metrics}, nil
 	}
 }
 
@@ -159,13 +200,13 @@ func run(r experiments.Runner, name string) error {
 		if len(r.Workloads) == 1 {
 			name = r.Workloads[0]
 		}
-		rows, err := experiments.WindowSweep(name)
+		rows, err := experiments.WindowSweep(r, name)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderWindow(name, rows))
 	case "pkrusafe":
-		rows, err := experiments.PKRUSafe()
+		rows, err := experiments.PKRUSafe(r)
 		if err != nil {
 			return err
 		}

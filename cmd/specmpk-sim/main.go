@@ -55,6 +55,7 @@ func main() {
 		variant  = flag.String("variant", "full", "instrumentation: full | nop | none | rdpkru")
 		robPkru  = flag.Int("robpkru", 8, "ROB_pkru entries")
 		maxCyc   = flag.Uint64("cycles", 500_000_000, "cycle budget")
+		cfgCyc   = flag.Uint64("max-cycles", 0, "Config.MaxCycles: the machine's own hard cycle budget (0 = none); a run that exhausts it stops with stopReason cycle_limit")
 		list     = flag.Bool("list", false, "list catalogue workloads and exit")
 		showDisq = flag.Bool("disasm", false, "print the program disassembly before running")
 		traceN   = flag.Uint64("trace", 0, "print the first N retired instructions")
@@ -123,9 +124,18 @@ func main() {
 
 	cfg := pipeline.DefaultConfig()
 	cfg.ROBPkruSize = *robPkru
+	cfg.MaxCycles = *cfgCyc
 	cfg.Mode, err = pipeline.ParseMode(*mode)
 	if err != nil {
 		fatal(err)
+	}
+	// Config.MaxCycles caps the machine from inside; fold it into the driver
+	// budget too so the interval/timeline loops (which re-run the machine in
+	// chunks) terminate at the same point instead of spinning on a machine
+	// that can no longer advance.
+	budget := *maxCyc
+	if cfg.MaxCycles > 0 && cfg.MaxCycles < budget {
+		budget = cfg.MaxCycles
 	}
 
 	m, err := pipeline.New(cfg, prog)
@@ -172,12 +182,12 @@ func main() {
 	var runErr error
 	switch {
 	case *statsInterval > 0 && out.stats != nil:
-		runErr = runWithIntervals(m, reg, out.stats, *statsInterval, *maxCyc)
+		runErr = runWithIntervals(m, reg, out.stats, *statsInterval, budget)
 	case *timeline:
 		const sample = 1000
 		var ipcs []float64
 		lastI := uint64(0)
-		for m.Cycle() < *maxCyc && !m.Halted() && m.Fault() == nil && runErr == nil {
+		for m.Cycle() < budget && !m.Halted() && m.Fault() == nil && runErr == nil {
 			runErr = m.RunInsts(^uint64(0), m.Cycle()+sample)
 			if runErr == pipeline.ErrCycleLimit {
 				runErr = nil // just the sampling boundary
@@ -187,7 +197,7 @@ func main() {
 		}
 		fmt.Print(textplot.Timeline("IPC over time (1k-cycle samples)", ipcs, 100))
 	default:
-		runErr = m.Run(*maxCyc)
+		runErr = m.Run(budget)
 	}
 
 	if *pview > 0 {
@@ -309,18 +319,9 @@ func buildProgram(wl, asmFile, variant string) (*asm.Program, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown workload %q (try -list)", wl)
 		}
-		var v workload.Variant
-		switch variant {
-		case "full":
-			v = workload.VariantFull
-		case "nop":
-			v = workload.VariantNop
-		case "none":
-			v = workload.VariantNone
-		case "rdpkru":
-			v = workload.VariantRdpkru
-		default:
-			return nil, fmt.Errorf("unknown variant %q", variant)
+		v, err := workload.ParseVariant(variant)
+		if err != nil {
+			return nil, err
 		}
 		return p.Build(v)
 	}

@@ -1,0 +1,94 @@
+// Command specmpkd serves the simulator as a daemon: jobs are submitted as
+// JSON specs over HTTP, queued into a bounded queue, run on a worker pool,
+// and answered from a content-addressed result cache when an identical spec
+// (same workload/variant/mode/config/budget under the same simulator
+// version) has already been simulated.
+//
+// Usage:
+//
+//	specmpkd [-addr :8351] [-j N] [-queue 256] [-cache 512]
+//	         [-event-interval 1000000] [-max-cycles 500000000]
+//	         [-drain-timeout 2m]
+//
+// API (see internal/server):
+//
+//	POST   /v1/jobs             submit a job spec
+//	GET    /v1/jobs/{id}        job status (+ result when done)
+//	GET    /v1/jobs/{id}/events NDJSON progress stream
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/metrics          Prometheus metrics (server.* namespace)
+//	GET    /v1/healthz          liveness
+//
+// SIGTERM/SIGINT drain gracefully: new submits are rejected with 503 while
+// queued and running jobs finish, bounded by -drain-timeout; on expiry the
+// stragglers are cancelled through their contexts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specmpk/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8351", "listen address")
+		workers  = flag.Int("j", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 256, "bounded queue size; beyond it submits get 503")
+		cache    = flag.Int("cache", 512, "result-cache entries (negative disables caching)")
+		interval = flag.Uint64("event-interval", 1_000_000, "progress-event cadence in simulated cycles")
+		maxCyc   = flag.Uint64("max-cycles", 500_000_000, "default per-job cycle budget (job timeout)")
+		drain    = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for in-flight jobs")
+	)
+	flag.Parse()
+
+	s := server.New(server.Options{
+		Workers:       *workers,
+		QueueSize:     *queue,
+		CacheEntries:  *cache,
+		EventInterval: *interval,
+		MaxCycles:     *maxCyc,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("specmpkd: %v", err)
+	}
+	hs := &http.Server{Handler: s}
+	log.Printf("specmpkd: listening on %s", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case got := <-sig:
+		log.Printf("specmpkd: %s: draining (timeout %s)", got, *drain)
+	case err := <-serveErr:
+		log.Fatalf("specmpkd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the job pool first (completing in-flight work), then close the
+	// HTTP side; status/event requests keep working while jobs finish.
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "specmpkd: drain incomplete, stragglers cancelled: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "specmpkd: http shutdown: %v\n", err)
+	}
+	log.Printf("specmpkd: drained, exiting")
+}

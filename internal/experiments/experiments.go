@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,6 +22,19 @@ import (
 	"specmpk/internal/workload"
 )
 
+// SimResult is what one simulation contributes to an experiment: the
+// pipeline's summary statistics plus the full unified-registry snapshot.
+type SimResult struct {
+	Stats   pipeline.Stats
+	Metrics map[string]any
+}
+
+// SimFunc executes one simulation request. The default (in-process) SimFunc
+// builds the workload and runs a machine locally; `specmpk-bench -remote`
+// installs one backed by a specmpkd daemon instead, which batches the same
+// requests through the daemon's queue and content-addressed result cache.
+type SimFunc func(p workload.Profile, v workload.Variant, cfg pipeline.Config) (SimResult, error)
+
 // Runner carries experiment-wide options.
 type Runner struct {
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
@@ -30,6 +44,11 @@ type Runner struct {
 	// Modes restricts the microarchitecture sweep for mode-iterating
 	// experiments such as stats (nil = every registered policy).
 	Modes []pipeline.Mode
+	// Sim overrides how simulations execute (nil = in-process). Experiments
+	// that need more than a detailed pipeline run — the functional-simulator
+	// density counts (fig10), the attack PoC (fig13), the per-PC profiler —
+	// always run locally regardless.
+	Sim SimFunc
 }
 
 func (r Runner) workers() int {
@@ -60,46 +79,61 @@ func (r Runner) catalog() []workload.Profile {
 	return out
 }
 
-// forEach runs f over the items with bounded parallelism, collecting the
-// first error.
+// forEach runs f over the items with bounded parallelism. Every worker's
+// error is kept (joined with errors.Join), not just whichever reached a
+// channel first, so a sweep that fails on three workloads reports all three.
 func forEach[T any](workers int, items []T, f func(T) error) error {
 	sem := make(chan struct{}, workers)
-	errCh := make(chan error, len(items))
+	errs := make([]error, len(items))
 	var wg sync.WaitGroup
-	for _, it := range items {
+	for i, it := range items {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(it T) {
+		go func(i int, it T) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := f(it); err != nil {
-				errCh <- err
-			}
-		}(it)
+			errs[i] = f(it)
+		}(i, it)
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return errors.Join(errs...)
 }
 
 func label(p workload.Profile) string {
 	return fmt.Sprintf("%s (%s)", p.Name, p.Scheme)
 }
 
-// runPipeline builds the workload at the variant and runs it on a machine.
-func runPipeline(p workload.Profile, v workload.Variant, cfg pipeline.Config) (pipeline.Stats, error) {
+// sim executes one simulation request through the runner's SimFunc — locally
+// by default, or against a daemon when Runner.Sim is installed.
+func (r Runner) sim(p workload.Profile, v workload.Variant, cfg pipeline.Config) (SimResult, error) {
+	if r.Sim != nil {
+		return r.Sim(p, v, cfg)
+	}
+	return LocalSim(p, v, cfg)
+}
+
+// runStats is sim for the (common) experiments that only need the summary
+// statistics.
+func (r Runner) runStats(p workload.Profile, v workload.Variant, cfg pipeline.Config) (pipeline.Stats, error) {
+	res, err := r.sim(p, v, cfg)
+	return res.Stats, err
+}
+
+// LocalSim is the in-process SimFunc: build the workload at the variant, run
+// it on a fresh machine, snapshot the unified registry.
+func LocalSim(p workload.Profile, v workload.Variant, cfg pipeline.Config) (SimResult, error) {
 	prog, err := p.Build(v)
 	if err != nil {
-		return pipeline.Stats{}, err
+		return SimResult{}, err
 	}
 	m, err := pipeline.New(cfg, prog)
 	if err != nil {
-		return pipeline.Stats{}, err
+		return SimResult{}, err
 	}
 	if err := m.Run(500_000_000); err != nil {
-		return pipeline.Stats{}, fmt.Errorf("%s/%v/%v: %w", p.Name, v, cfg.Mode, err)
+		return SimResult{}, fmt.Errorf("%s/%v/%v: %w", p.Name, v, cfg.Mode, err)
 	}
-	return m.Stats, nil
+	return SimResult{Stats: m.Stats, Metrics: m.StatsRegistry().Snapshot().Flat()}, nil
 }
 
 func modeConfig(mode pipeline.Mode) pipeline.Config {
@@ -126,11 +160,11 @@ func Fig3(r Runner) ([]Fig3Row, error) {
 	rows := make([]Fig3Row, len(cat))
 	err := forEach(r.workers(), indices(cat), func(i int) error {
 		p := cat[i]
-		ser, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeSerialized))
+		ser, err := r.runStats(p, workload.VariantFull, modeConfig(pipeline.ModeSerialized))
 		if err != nil {
 			return err
 		}
-		ns, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeNonSecure))
+		ns, err := r.runStats(p, workload.VariantFull, modeConfig(pipeline.ModeNonSecure))
 		if err != nil {
 			return err
 		}
@@ -182,15 +216,15 @@ func Fig4(r Runner) ([]Fig4Row, error) {
 	err := forEach(r.workers(), indices(cat), func(i int) error {
 		p := cat[i]
 		cfg := modeConfig(pipeline.ModeSerialized)
-		base, err := runPipeline(p, workload.VariantNone, cfg)
+		base, err := r.runStats(p, workload.VariantNone, cfg)
 		if err != nil {
 			return err
 		}
-		nop, err := runPipeline(p, workload.VariantNop, cfg)
+		nop, err := r.runStats(p, workload.VariantNop, cfg)
 		if err != nil {
 			return err
 		}
-		full, err := runPipeline(p, workload.VariantFull, cfg)
+		full, err := r.runStats(p, workload.VariantFull, cfg)
 		if err != nil {
 			return err
 		}
@@ -241,15 +275,15 @@ func Fig9(r Runner) ([]Fig9Row, error) {
 	rows := make([]Fig9Row, len(cat))
 	err := forEach(r.workers(), indices(cat), func(i int) error {
 		p := cat[i]
-		ser, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeSerialized))
+		ser, err := r.runStats(p, workload.VariantFull, modeConfig(pipeline.ModeSerialized))
 		if err != nil {
 			return err
 		}
-		ns, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeNonSecure))
+		ns, err := r.runStats(p, workload.VariantFull, modeConfig(pipeline.ModeNonSecure))
 		if err != nil {
 			return err
 		}
-		sp, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeSpecMPK))
+		sp, err := r.runStats(p, workload.VariantFull, modeConfig(pipeline.ModeSpecMPK))
 		if err != nil {
 			return err
 		}
@@ -402,11 +436,11 @@ func Fig11(r Runner) ([]Fig11Row, error) {
 	rows := make([]Fig11Row, len(cat))
 	err := forEach(r.workers(), indices(cat), func(i int) error {
 		p := cat[i]
-		ser, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeSerialized))
+		ser, err := r.runStats(p, workload.VariantFull, modeConfig(pipeline.ModeSerialized))
 		if err != nil {
 			return err
 		}
-		ns, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeNonSecure))
+		ns, err := r.runStats(p, workload.VariantFull, modeConfig(pipeline.ModeNonSecure))
 		if err != nil {
 			return err
 		}
@@ -418,7 +452,7 @@ func Fig11(r Runner) ([]Fig11Row, error) {
 		for _, size := range Fig11Sizes {
 			cfg := modeConfig(pipeline.ModeSpecMPK)
 			cfg.ROBPkruSize = size
-			sp, err := runPipeline(p, workload.VariantFull, cfg)
+			sp, err := r.runStats(p, workload.VariantFull, cfg)
 			if err != nil {
 				return err
 			}

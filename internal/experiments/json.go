@@ -51,9 +51,9 @@ func RowsFor(r Runner, name string) (any, error) {
 	case "vdom":
 		return VDomSweep()
 	case "window":
-		return WindowSweep("")
+		return WindowSweep(r, "")
 	case "pkrusafe":
-		return PKRUSafe()
+		return PKRUSafe(r)
 	case "stats":
 		return StatsRows(r)
 	case "profile":

@@ -19,18 +19,20 @@ type PKRUSafeRow struct {
 	SpecMPKPct    float64
 }
 
-// PKRUSafe runs the extension heap-isolation workloads.
-func PKRUSafe() ([]PKRUSafeRow, error) {
+// PKRUSafe runs the extension heap-isolation workloads. Parallelism follows
+// Runner.Parallelism like every other sweep (it was previously pinned to 4
+// workers regardless of the machine).
+func PKRUSafe(r Runner) ([]PKRUSafeRow, error) {
 	ext := workload.ExtCatalog()
 	rows := make([]PKRUSafeRow, len(ext))
-	err := forEach(4, indices(ext), func(i int) error {
+	err := forEach(r.workers(), indices(ext), func(i int) error {
 		p := ext[i]
 		overhead := func(mode pipeline.Mode) (float64, error) {
-			base, err := runPipeline(p, workload.VariantNone, modeConfig(mode))
+			base, err := r.runStats(p, workload.VariantNone, modeConfig(mode))
 			if err != nil {
 				return 0, err
 			}
-			full, err := runPipeline(p, workload.VariantFull, modeConfig(mode))
+			full, err := r.runStats(p, workload.VariantFull, modeConfig(mode))
 			if err != nil {
 				return 0, err
 			}

@@ -37,19 +37,19 @@ func Rdpkru(r Runner) ([]RdpkruRow, error) {
 	rows := make([]RdpkruRow, len(cat))
 	err := forEach(r.workers(), indices(cat), func(i int) error {
 		p := cat[i]
-		base, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeSerialized))
+		base, err := r.runStats(p, workload.VariantFull, modeConfig(pipeline.ModeSerialized))
 		if err != nil {
 			return err
 		}
-		spFull, err := runPipeline(p, workload.VariantFull, modeConfig(pipeline.ModeSpecMPK))
+		spFull, err := r.runStats(p, workload.VariantFull, modeConfig(pipeline.ModeSpecMPK))
 		if err != nil {
 			return err
 		}
-		spRMW, err := runPipeline(p, workload.VariantRdpkru, modeConfig(pipeline.ModeSpecMPK))
+		spRMW, err := r.runStats(p, workload.VariantRdpkru, modeConfig(pipeline.ModeSpecMPK))
 		if err != nil {
 			return err
 		}
-		serRMW, err := runPipeline(p, workload.VariantRdpkru, modeConfig(pipeline.ModeSerialized))
+		serRMW, err := r.runStats(p, workload.VariantRdpkru, modeConfig(pipeline.ModeSerialized))
 		if err != nil {
 			return err
 		}

@@ -33,18 +33,11 @@ func StatsRows(r Runner) ([]StatsRow, error) {
 	err := forEach(r.workers(), indices(rows), func(i int) error {
 		p := cat[i/len(modes)]
 		mode := modes[i%len(modes)]
-		prog, err := p.Build(workload.VariantFull)
+		res, err := r.sim(p, workload.VariantFull, modeConfig(mode))
 		if err != nil {
-			return err
-		}
-		m, err := pipeline.New(modeConfig(mode), prog)
-		if err != nil {
-			return err
-		}
-		if err := m.Run(500_000_000); err != nil {
 			return fmt.Errorf("%s/%v: %w", p.Name, mode, err)
 		}
-		s := m.Stats
+		s := res.Stats
 		if s.CPI.Sum() != s.Cycles {
 			return fmt.Errorf("stats: %s/%v: CPI stack sums to %d, want %d cycles",
 				p.Name, mode, s.CPI.Sum(), s.Cycles)
@@ -56,7 +49,7 @@ func StatsRows(r Runner) ([]StatsRow, error) {
 			Insts:    s.Insts,
 			IPC:      s.IPC(),
 			CPI:      s.CPI,
-			Metrics:  m.StatsRegistry().Snapshot().Flat(),
+			Metrics:  res.Metrics,
 		}
 		return nil
 	})

@@ -43,7 +43,7 @@ func TestVDomSweepShape(t *testing.T) {
 }
 
 func TestWindowSweepShape(t *testing.T) {
-	rows, err := WindowSweep("")
+	rows, err := WindowSweep(Runner{}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestWindowSweepShape(t *testing.T) {
 }
 
 func TestPKRUSafeShape(t *testing.T) {
-	rows, err := PKRUSafe()
+	rows, err := PKRUSafe(Runner{})
 	if err != nil {
 		t.Fatal(err)
 	}

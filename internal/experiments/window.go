@@ -24,17 +24,13 @@ type WindowRow struct {
 var WindowSizes = []int{96, 192, 352}
 
 // WindowSweep runs the densest workload across window sizes.
-func WindowSweep(workloadName string) ([]WindowRow, error) {
+func WindowSweep(r Runner, workloadName string) ([]WindowRow, error) {
 	if workloadName == "" {
 		workloadName = "520.omnetpp_r"
 	}
 	p, ok := workload.ByName(workloadName)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", workloadName)
-	}
-	prog, err := p.Build(workload.VariantFull)
-	if err != nil {
-		return nil, err
 	}
 	var rows []WindowRow
 	for _, al := range WindowSizes {
@@ -49,14 +45,7 @@ func WindowSweep(workloadName string) ([]WindowRow, error) {
 			cfg.SQSize = al / 5
 			cfg.PRFSize = al/2 + 104
 			cfg.ROBPkruSize = maxI(al/24, 2)
-			m, err := pipeline.New(cfg, prog)
-			if err != nil {
-				return pipeline.Stats{}, err
-			}
-			if err := m.Run(500_000_000); err != nil {
-				return pipeline.Stats{}, err
-			}
-			return m.Stats, nil
+			return r.runStats(p, workload.VariantFull, cfg)
 		}
 		ser, err := shape(pipeline.ModeSerialized)
 		if err != nil {

@@ -22,6 +22,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"specmpk/internal/asm"
@@ -95,6 +96,14 @@ type Config struct {
 	// combined with MemDepSpeculation.
 	StallSuspectStores bool
 
+	// MaxCycles is the machine's own cycle budget: Run, RunContext and
+	// RunInsts never step past it regardless of the budget they are called
+	// with (0 = no config-level budget). A run that exhausts it returns
+	// ErrCycleLimit with Stats.Stop = StopCycleLimit, so a pathological
+	// program (or an over-long job on the simulation server) terminates with
+	// a distinct stop reason instead of looping forever.
+	MaxCycles uint64
+
 	// NoTLBDeferral is an ABLATION knob for the SpecMPK mode: it disables
 	// the §V-C5 rule that conservatively stalls TLB-missing accesses until
 	// retirement, letting them page-walk speculatively instead (the PKRU
@@ -143,10 +152,34 @@ func (c Config) validate(pol PKRUPolicy) error {
 	return nil
 }
 
+// StopReason records why a run returned (Stats.Stop). It is a plain string
+// so it serializes readably in stats JSON and server job results.
+type StopReason string
+
+// The stop reasons Run/RunContext/RunInsts report.
+const (
+	// StopNone: the machine has not finished a run yet.
+	StopNone StopReason = ""
+	// StopHalt: the program retired its HALT.
+	StopHalt StopReason = "halt"
+	// StopFault: a fault terminated the program at retirement.
+	StopFault StopReason = "fault"
+	// StopCycleLimit: the cycle budget (Run's argument or Config.MaxCycles)
+	// expired first.
+	StopCycleLimit StopReason = "cycle_limit"
+	// StopInstLimit: RunInsts retired its target instruction count.
+	StopInstLimit StopReason = "inst_limit"
+	// StopCancelled: RunContext's context was cancelled mid-run.
+	StopCancelled StopReason = "cancelled"
+)
+
 // Stats are the counters a run accumulates.
 type Stats struct {
 	Cycles uint64
 	Insts  uint64 // retired instructions
+
+	// Stop is why the last Run/RunContext/RunInsts call returned.
+	Stop StopReason `json:"stopReason,omitempty"`
 
 	Fetched  uint64
 	Renamed  uint64
@@ -521,22 +554,40 @@ func NewWithState(cfg Config, prog *asm.Program, as *mem.AddressSpace,
 // RunInsts steps until n instructions have retired (or HALT/fault/cycle
 // budget). Used for fixed-length SimPoint interval simulation.
 func (m *Machine) RunInsts(n, maxCycles uint64) error {
+	maxCycles = m.clampBudget(maxCycles)
 	for m.cycle < maxCycles && m.Stats.Insts < n {
 		if m.halted {
+			m.Stats.Stop = StopHalt
 			return nil
 		}
 		if m.fault != nil {
+			m.Stats.Stop = StopFault
 			return m.fault
 		}
 		m.Step()
 	}
-	if m.Stats.Insts >= n || m.halted {
+	if m.halted {
+		m.Stats.Stop = StopHalt
+		return nil
+	}
+	if m.Stats.Insts >= n {
+		m.Stats.Stop = StopInstLimit
 		return nil
 	}
 	if m.fault != nil {
+		m.Stats.Stop = StopFault
 		return m.fault
 	}
+	m.Stats.Stop = StopCycleLimit
 	return ErrCycleLimit
+}
+
+// clampBudget folds the config-level cycle budget into a caller's budget.
+func (m *Machine) clampBudget(maxCycles uint64) uint64 {
+	if m.Cfg.MaxCycles > 0 && m.Cfg.MaxCycles < maxCycles {
+		return m.Cfg.MaxCycles
+	}
+	return maxCycles
 }
 
 func maxInt(a, b int) int {
@@ -597,23 +648,53 @@ func (m *Machine) InFlight() int { return m.alCnt }
 var ErrCycleLimit = fmt.Errorf("pipeline: cycle limit reached")
 
 // Run steps the machine until HALT retires, a fault terminates the program,
-// or maxCycles elapse.
+// or the cycle budget (the smaller of maxCycles and Config.MaxCycles, when
+// set) elapses. Stats.Stop records which of those ended the run.
 func (m *Machine) Run(maxCycles uint64) error {
+	return m.RunContext(context.Background(), maxCycles)
+}
+
+// ctxCheckInterval is how often (in cycles) RunContext polls its context.
+// 1024 cycles is ~1 µs of wall time per poll-free stretch, so cancellation
+// lands long before one server stats interval while keeping the hot loop
+// free of per-cycle channel operations.
+const ctxCheckInterval = 1024
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every ctxCheckInterval cycles and a cancellation surfaces as ctx.Err()
+// with Stats.Stop = StopCancelled. This is the seam the simulation server
+// uses for DELETE /v1/jobs/{id} and shutdown deadlines.
+func (m *Machine) RunContext(ctx context.Context, maxCycles uint64) error {
+	maxCycles = m.clampBudget(maxCycles)
+	done := ctx.Done()
 	for m.cycle < maxCycles {
 		if m.halted {
+			m.Stats.Stop = StopHalt
 			return nil
 		}
 		if m.fault != nil {
+			m.Stats.Stop = StopFault
 			return m.fault
+		}
+		if done != nil && m.cycle%ctxCheckInterval == 0 {
+			select {
+			case <-done:
+				m.Stats.Stop = StopCancelled
+				return ctx.Err()
+			default:
+			}
 		}
 		m.Step()
 	}
 	if m.halted {
+		m.Stats.Stop = StopHalt
 		return nil
 	}
 	if m.fault != nil {
+		m.Stats.Stop = StopFault
 		return m.fault
 	}
+	m.Stats.Stop = StopCycleLimit
 	return ErrCycleLimit
 }
 

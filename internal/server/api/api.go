@@ -1,0 +1,243 @@
+// Package api defines the specmpkd wire protocol: job specifications, job
+// status, canonical results, progress events — and the content-addressed
+// cache key that makes identical simulation requests (the common case in
+// policy sweeps) collapse onto one execution and one cached result.
+//
+// Everything here is deliberately deterministic: a JobSpec normalizes to a
+// canonical form (defaults applied, names validated) before hashing, results
+// marshal to canonical JSON (struct field order is fixed, map keys sort), and
+// the key folds in a simulator version string so a semantic change to the
+// simulator invalidates every cached result at once.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"specmpk/internal/asm"
+	"specmpk/internal/pipeline"
+	"specmpk/internal/workload"
+)
+
+// Version names the simulation semantics a result was produced under. It is
+// part of every cache key: bump it whenever a change makes previously cached
+// results stale (new pipeline behaviour, workload generator changes, result
+// schema changes).
+const Version = "specmpk-sim/1"
+
+// JobSpec is a simulation request. Exactly one of Workload and Asm selects
+// the program.
+type JobSpec struct {
+	// Workload names a catalogue entry (workload.ByName; extension
+	// workloads included).
+	Workload string `json:"workload,omitempty"`
+	// Asm is an inline assembly program (the specmpk-sim -asm equivalent),
+	// for programs outside the catalogue.
+	Asm string `json:"asm,omitempty"`
+	// Variant is the instrumentation level: full | nop | none | rdpkru
+	// ("" = full). Ignored for Asm jobs.
+	Variant string `json:"variant,omitempty"`
+	// Seed selects a BuildSeeded replication of the workload (0 = the
+	// canonical program). Ignored for Asm jobs.
+	Seed int64 `json:"seed,omitempty"`
+	// Mode is the registered policy name ("" = the default config's mode).
+	// It is authoritative: the Mode field inside Config is ignored, because
+	// pipeline.Mode values are registry handles whose numeric value is not
+	// stable across builds.
+	Mode string `json:"mode,omitempty"`
+	// Config overrides the Table III machine (nil = pipeline.DefaultConfig).
+	Config *pipeline.Config `json:"config,omitempty"`
+	// MaxCycles caps the run; 0 accepts the server's default budget. A job
+	// that exhausts it completes with stop reason "cycle_limit" — this is
+	// also the server's job-timeout mechanism.
+	MaxCycles uint64 `json:"maxCycles,omitempty"`
+}
+
+// Normalize validates the spec and returns its canonical form: program
+// source checked, names parsed and re-rendered, defaults materialized, and
+// the embedded Config.Mode zeroed in favour of the Mode name. Two specs that
+// normalize equal simulate identically, so the cache key hashes the
+// normalized form.
+func (s JobSpec) Normalize() (JobSpec, error) {
+	out := s
+	switch {
+	case s.Workload == "" && s.Asm == "":
+		return out, fmt.Errorf("api: job spec needs a workload or an asm program")
+	case s.Workload != "" && s.Asm != "":
+		return out, fmt.Errorf("api: workload and asm are mutually exclusive")
+	case s.Workload != "":
+		if _, ok := workload.ByName(s.Workload); !ok {
+			return out, fmt.Errorf("api: unknown workload %q", s.Workload)
+		}
+		if s.Variant == "" {
+			out.Variant = workload.VariantFull.String()
+		}
+		if _, err := workload.ParseVariant(out.Variant); err != nil {
+			return out, err
+		}
+	default: // Asm
+		if _, err := asm.Parse(s.Asm); err != nil {
+			return out, fmt.Errorf("api: asm program: %w", err)
+		}
+		if s.Variant != "" || s.Seed != 0 {
+			return out, fmt.Errorf("api: variant/seed apply to catalogue workloads, not asm jobs")
+		}
+	}
+
+	cfg := pipeline.DefaultConfig()
+	if s.Config != nil {
+		cfg = *s.Config
+	}
+	if out.Mode == "" {
+		out.Mode = cfg.Mode.String()
+	}
+	if _, err := pipeline.ParseMode(out.Mode); err != nil {
+		return out, err
+	}
+	// The numeric Mode is a registry handle, not a stable identity; the
+	// canonical form carries the policy by name only.
+	cfg.Mode = 0
+	out.Config = &cfg
+	return out, nil
+}
+
+// Key returns the content-addressed cache key: SHA-256 over the simulator
+// version and the normalized spec's canonical JSON. Identical requests —
+// regardless of which defaults were spelled out — hash identically.
+func (s JobSpec) Key() (string, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(n)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(Version))
+	h.Write([]byte{'\n'})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Program builds the job's program. The spec must be normalized (or at
+// least valid).
+func (s JobSpec) Program() (*asm.Program, error) {
+	if s.Asm != "" {
+		return asm.Parse(s.Asm)
+	}
+	p, ok := workload.ByName(s.Workload)
+	if !ok {
+		return nil, fmt.Errorf("api: unknown workload %q", s.Workload)
+	}
+	v := workload.VariantFull
+	if s.Variant != "" {
+		var err error
+		if v, err = workload.ParseVariant(s.Variant); err != nil {
+			return nil, err
+		}
+	}
+	return p.BuildSeeded(v, s.Seed)
+}
+
+// MachineConfig resolves the pipeline configuration with the named mode
+// applied.
+func (s JobSpec) MachineConfig() (pipeline.Config, error) {
+	cfg := pipeline.DefaultConfig()
+	if s.Config != nil {
+		cfg = *s.Config
+	}
+	if s.Mode != "" {
+		mode, err := pipeline.ParseMode(s.Mode)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Mode = mode
+	}
+	return cfg, nil
+}
+
+// SpecFor converts one experiment-runner simulation request into a job spec
+// — the bridge the specmpk-bench -remote path uses.
+func SpecFor(workloadName string, v workload.Variant, cfg pipeline.Config) JobSpec {
+	mode := cfg.Mode.String()
+	cfg.Mode = 0
+	return JobSpec{
+		Workload: workloadName,
+		Variant:  v.String(),
+		Mode:     mode,
+		Config:   &cfg,
+	}
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Terminal reports whether a job state is final.
+func Terminal(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// JobInfo is a job's externally visible status.
+type JobInfo struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State string `json:"state"`
+	// Cached: the job was answered from the content-addressed result cache
+	// without running.
+	Cached bool `json:"cached,omitempty"`
+	// Deduped: the job attached to an identical in-flight execution instead
+	// of enqueueing its own (single-flight). Deduped jobs share the primary
+	// execution's result — and its cancellation.
+	Deduped bool   `json:"deduped,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+
+	// Result is the canonical result JSON (a Result), present once State is
+	// "done". It is byte-identical across identical submissions.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Result is a completed simulation's canonical output. Its JSON encoding is
+// deterministic: struct field order is fixed and the metrics map marshals
+// with sorted keys, so equal runs produce equal bytes.
+type Result struct {
+	Key        string         `json:"key"`
+	Version    string         `json:"version"`
+	Spec       JobSpec        `json:"spec"`
+	StopReason string         `json:"stopReason"`
+	Stats      pipeline.Stats `json:"stats"`
+	// Metrics is the machine's full unified stats-registry snapshot
+	// (stats.Snapshot.Flat).
+	Metrics map[string]any `json:"metrics"`
+}
+
+// Event is one line of a job's progress stream: an interval snapshot (the
+// same cadence as specmpk-sim -stats-interval) or a state transition.
+type Event struct {
+	Seq uint64 `json:"seq"`
+	// State is set on transition events (running, done, failed, cancelled).
+	State string `json:"state,omitempty"`
+	// Cycle/Insts are cumulative simulated progress; IPC is the interval's.
+	Cycle uint64  `json:"cycle"`
+	Insts uint64  `json:"insts"`
+	IPC   float64 `json:"ipc"`
+	// Final marks the last event of the stream.
+	Final bool `json:"final,omitempty"`
+}

@@ -1,0 +1,177 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"specmpk/internal/pipeline"
+	"specmpk/internal/workload"
+)
+
+func TestKeyStableAcrossSpelledOutDefaults(t *testing.T) {
+	implicit := JobSpec{Workload: "548.exchange2_r"}
+	cfg := pipeline.DefaultConfig()
+	explicit := JobSpec{
+		Workload: "548.exchange2_r",
+		Variant:  "full",
+		Mode:     pipeline.DefaultConfig().Mode.String(),
+		Config:   &cfg,
+	}
+	k1, err := implicit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := explicit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("defaults spelled out changed the key: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", k1)
+	}
+}
+
+func TestKeySeparatesDistinctWork(t *testing.T) {
+	base := JobSpec{Workload: "548.exchange2_r"}
+	perturb := []JobSpec{
+		{Workload: "557.xz_r"},
+		{Workload: "548.exchange2_r", Variant: "nop"},
+		{Workload: "548.exchange2_r", Mode: "serialized"},
+		{Workload: "548.exchange2_r", Seed: 1},
+		{Workload: "548.exchange2_r", MaxCycles: 5000},
+	}
+	k0, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{k0: true}
+	for _, s := range perturb {
+		k, err := s.Key()
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		if seen[k] {
+			t.Fatalf("spec %+v collides", s)
+		}
+		seen[k] = true
+	}
+	// A config override off the default must also change the key.
+	cfg := pipeline.DefaultConfig()
+	cfg.ROBPkruSize = 2
+	k, err := (JobSpec{Workload: "548.exchange2_r", Config: &cfg}).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen[k] {
+		t.Fatal("ROB_pkru override did not change the key")
+	}
+}
+
+func TestKeyIgnoresNumericConfigMode(t *testing.T) {
+	// The numeric Mode inside Config is a registry handle; only the Mode
+	// name may influence the key.
+	cfgA := pipeline.DefaultConfig()
+	cfgA.Mode = pipeline.ModeSerialized
+	cfgB := pipeline.DefaultConfig()
+	cfgB.Mode = pipeline.ModeNonSecure
+	kA, err := (JobSpec{Workload: "557.xz_r", Mode: "specmpk", Config: &cfgA}).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kB, err := (JobSpec{Workload: "557.xz_r", Mode: "specmpk", Config: &cfgB}).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kA != kB {
+		t.Fatal("numeric Config.Mode leaked into the key")
+	}
+}
+
+func TestNormalizeRejectsBadSpecs(t *testing.T) {
+	bad := []JobSpec{
+		{},
+		{Workload: "no-such-workload"},
+		{Workload: "557.xz_r", Variant: "bogus"},
+		{Workload: "557.xz_r", Mode: "bogus"},
+		{Workload: "557.xz_r", Asm: "main:\n halt\n"},
+		{Asm: "this is not assembly"},
+		{Asm: "main:\n halt\n", Variant: "full"},
+	}
+	for _, s := range bad {
+		if _, err := s.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) should fail", s)
+		}
+	}
+}
+
+func TestAsmSpecProgramAndKey(t *testing.T) {
+	spec := JobSpec{Asm: "main:\n movi t0, 3\n halt\n"}
+	if _, err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := spec.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Insts) == 0 {
+		t.Fatal("empty program")
+	}
+	k1, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := JobSpec{Asm: "main:\n movi t0, 4\n halt\n"}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("different asm programs collide")
+	}
+}
+
+func TestSpecForRoundTrip(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Mode = pipeline.ModeSerialized
+	cfg.ROBPkruSize = 4
+	spec := SpecFor("520.omnetpp_r", workload.VariantNop, cfg)
+	n, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Mode != "serialized" || n.Variant != "nop" {
+		t.Fatalf("normalized spec %+v", n)
+	}
+	got, err := n.MachineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != pipeline.ModeSerialized || got.ROBPkruSize != 4 {
+		t.Fatalf("machine config %+v", got)
+	}
+}
+
+func TestResultJSONDeterministic(t *testing.T) {
+	res := Result{
+		Key:        "k",
+		Version:    Version,
+		StopReason: string(pipeline.StopHalt),
+		Metrics:    map[string]any{"b": 2, "a": 1, "c": 3},
+	}
+	b1, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("result marshaling is not deterministic")
+	}
+	if !strings.Contains(string(b1), `"a":1,"b":2,"c":3`) {
+		t.Fatalf("metrics keys not sorted: %s", b1)
+	}
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// resultCache is the content-addressed result store: canonical result bytes
+// keyed by the job spec's api.JobSpec.Key hash. Eviction is LRU by access,
+// bounded by entry count — results are a few tens of KB of canonical JSON,
+// so a few hundred entries cover a full policy×workload×config sweep.
+//
+// Because the key already folds in the simulator version and every default,
+// a hit can be returned verbatim: it is bit-identical to what re-running the
+// job would produce.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int // <= 0 disables the cache entirely
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	key   string
+	bytes []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached canonical bytes for key, counting the hit or miss.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.max <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).bytes, true
+}
+
+// put stores the canonical bytes for key, evicting the least recently used
+// entry when full. Re-putting an existing key refreshes its recency (the
+// bytes are identical by construction).
+func (c *resultCache) put(key string, b []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, bytes: b})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,233 @@
+// Package client is the typed Go client for the specmpkd HTTP API. It is
+// what `specmpk-bench -remote` builds on: Submit/Wait/Run map one experiment
+// simulation onto one daemon job, with the daemon's content-addressed cache
+// and single-flight dedup collapsing repeated specs across sweep runs.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"specmpk/internal/server/api"
+)
+
+// Client talks to one specmpkd instance. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for addr ("host:port" or a full http:// URL).
+func New(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		base: strings.TrimRight(addr, "/"),
+		// The transport-level timeout stays generous: Wait streams events
+		// for the whole simulation. Per-call deadlines come from ctx.
+		hc: &http.Client{},
+	}
+}
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("specmpkd: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+// Unavailable reports whether the error is a 503 — queue full or draining —
+// i.e. worth retrying elsewhere or later.
+func (e *APIError) Unavailable() bool { return e.Status == http.StatusServiceUnavailable }
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeErr(resp)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeErr(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(b, &e) != nil || e.Error == "" {
+		e.Error = strings.TrimSpace(string(b))
+	}
+	if e.Error == "" {
+		e.Error = resp.Status
+	}
+	return &APIError{Status: resp.StatusCode, Msg: e.Error}
+}
+
+// Submit enqueues a job and returns its initial status (terminal already on
+// a cache hit).
+func (c *Client) Submit(ctx context.Context, spec api.JobSpec) (api.JobInfo, error) {
+	var info api.JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &info)
+	return info, err
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (api.JobInfo, error) {
+	var info api.JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Cancel requests cancellation and returns the job's status.
+func (c *Client) Cancel(ctx context.Context, id string) (api.JobInfo, error) {
+	var info api.JobInfo
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Events streams the job's NDJSON progress events, calling fn for each until
+// the stream ends (the last event has Final set), fn returns an error, or
+// ctx is cancelled.
+func (c *Client) Events(ctx context.Context, id string, fn func(api.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeErr(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev api.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("specmpkd: bad event line: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Wait blocks until the job reaches a terminal state and returns its final
+// status. It rides the event stream (so waiting costs no polling) and falls
+// back to polling if the stream drops.
+func (c *Client) Wait(ctx context.Context, id string) (api.JobInfo, error) {
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return api.JobInfo{}, err
+		}
+		if api.Terminal(info.State) {
+			return info, nil
+		}
+		// Block on the event stream until it closes, then re-fetch.
+		if err := c.Events(ctx, id, func(api.Event) error { return nil }); err != nil {
+			if ctx.Err() != nil {
+				return api.JobInfo{}, ctx.Err()
+			}
+			// Stream dropped (daemon restart, proxy timeout): poll gently.
+			select {
+			case <-ctx.Done():
+				return api.JobInfo{}, ctx.Err()
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// Run submits the spec and waits for the result — the one-call path the
+// remote experiment runner uses. The returned JobInfo reports whether the
+// result came from the cache.
+func (c *Client) Run(ctx context.Context, spec api.JobSpec) (api.Result, api.JobInfo, error) {
+	info, err := c.Submit(ctx, spec)
+	if err != nil {
+		return api.Result{}, api.JobInfo{}, err
+	}
+	if !api.Terminal(info.State) {
+		if info, err = c.Wait(ctx, info.ID); err != nil {
+			return api.Result{}, info, err
+		}
+	}
+	switch info.State {
+	case api.StateDone:
+		var res api.Result
+		if err := json.Unmarshal(info.Result, &res); err != nil {
+			return api.Result{}, info, fmt.Errorf("specmpkd: bad result payload: %w", err)
+		}
+		return res, info, nil
+	case api.StateCancelled:
+		return api.Result{}, info, fmt.Errorf("specmpkd: job %s cancelled", info.ID)
+	default:
+		return api.Result{}, info, fmt.Errorf("specmpkd: job %s failed: %s", info.ID, info.Error)
+	}
+}
+
+// Metrics fetches the Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", decodeErr(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Healthz probes daemon liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}

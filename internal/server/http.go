@@ -1,0 +1,132 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"specmpk/internal/server/api"
+)
+
+// ServeHTTP serves the specmpkd HTTP/JSON API:
+//
+//	POST   /v1/jobs             submit a job spec; returns JobInfo
+//	GET    /v1/jobs/{id}        job status (Result inlined once done)
+//	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: via ctx)
+//	GET    /v1/jobs/{id}/events NDJSON progress stream (replay + live)
+//	GET    /v1/metrics          Prometheus text exposition of server.* metrics
+//	GET    /v1/healthz          liveness probe
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handlerOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+		mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+		mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+		mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+		s.handler = mux
+	})
+	s.handler.ServeHTTP(w, r)
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec api.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.Submit(spec)
+	if err != nil {
+		var unavail ErrUnavailable
+		if errors.As(err, &unavail) {
+			// Both overload (queue full) and drain are transient from the
+			// client's point of view; tell it when to come back.
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("unknown job id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("unknown job id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleEvents streams the job's events as NDJSON: the replay buffer first,
+// then live events until the job finishes or the client goes away. Each line
+// is one api.Event; the line with "final":true is the last.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ch, cancel, ok := s.Subscribe(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("unknown job id"))
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.Registry().Snapshot().WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"specmpk/internal/server/api"
+)
+
+// execution is one actual simulation run. Several jobs can attach to one
+// execution: the submit path collapses identical in-flight specs onto the
+// primary execution (single-flight), so a sweep hammering the daemon with
+// the same request costs one simulation.
+type execution struct {
+	key  string
+	spec api.JobSpec // normalized
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	result   []byte // canonical result JSON, set when state == done
+	started  time.Time
+	finished time.Time
+
+	// Event stream: a bounded replay buffer plus live subscribers. A late
+	// subscriber first receives the buffered prefix, then live events.
+	events []api.Event
+	subs   map[chan api.Event]struct{}
+	seq    uint64
+
+	done chan struct{} // closed on the transition to a terminal state
+}
+
+// maxBufferedEvents bounds the replay buffer; older progress events are
+// dropped (the terminal event is always retained by construction since it
+// is published last).
+const maxBufferedEvents = 1024
+
+func newExecution(parent context.Context, key string, spec api.JobSpec) *execution {
+	ctx, cancel := context.WithCancel(parent)
+	return &execution{
+		key:    key,
+		spec:   spec,
+		ctx:    ctx,
+		cancel: cancel,
+		state:  api.StateQueued,
+		subs:   make(map[chan api.Event]struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// resolvedExecution builds an already-terminal execution — the cache-hit
+// path, where the result exists before any worker is involved.
+func resolvedExecution(key string, spec api.JobSpec, result []byte) *execution {
+	ex := newExecution(context.Background(), key, spec)
+	ex.cancel()
+	ex.state = api.StateDone
+	ex.result = result
+	ex.finished = time.Now()
+	ex.events = append(ex.events, api.Event{Seq: 1, State: api.StateDone, Final: true})
+	ex.seq = 1
+	close(ex.done)
+	return ex
+}
+
+// snapshot returns the execution's externally visible state.
+func (ex *execution) snapshot() (state, errMsg string, result []byte, started, finished time.Time) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.state, ex.errMsg, ex.result, ex.started, ex.finished
+}
+
+// start transitions queued -> running and announces it on the event stream.
+// It returns false if the execution is already terminal (cancelled while
+// queued).
+func (ex *execution) start() bool {
+	ex.mu.Lock()
+	if api.Terminal(ex.state) {
+		ex.mu.Unlock()
+		return false
+	}
+	ex.state = api.StateRunning
+	ex.started = time.Now()
+	ex.publishLocked(api.Event{State: api.StateRunning})
+	ex.mu.Unlock()
+	return true
+}
+
+// progress publishes one interval snapshot.
+func (ex *execution) progress(cycle, insts uint64, ipc float64) {
+	ex.mu.Lock()
+	ex.publishLocked(api.Event{Cycle: cycle, Insts: insts, IPC: ipc})
+	ex.mu.Unlock()
+}
+
+// finish transitions to a terminal state exactly once, publishes the final
+// event, closes every subscriber, and wakes waiters. It reports whether this
+// call performed the transition.
+func (ex *execution) finish(state, errMsg string, result []byte, cycle, insts uint64) bool {
+	ex.mu.Lock()
+	if api.Terminal(ex.state) {
+		ex.mu.Unlock()
+		return false
+	}
+	ex.state = state
+	ex.errMsg = errMsg
+	ex.result = result
+	ex.finished = time.Now()
+	ex.publishLocked(api.Event{State: state, Cycle: cycle, Insts: insts, Final: true})
+	for ch := range ex.subs {
+		close(ch)
+		delete(ex.subs, ch)
+	}
+	ex.mu.Unlock()
+	close(ex.done)
+	return true
+}
+
+// publishLocked appends to the replay buffer and fans out to subscribers.
+// A subscriber that cannot keep up loses intermediate progress events (its
+// channel send would block) — the final state always arrives because finish
+// closes the channel after the terminal event is buffered.
+func (ex *execution) publishLocked(ev api.Event) {
+	ex.seq++
+	ev.Seq = ex.seq
+	ex.events = append(ex.events, ev)
+	if len(ex.events) > maxBufferedEvents {
+		ex.events = ex.events[len(ex.events)-maxBufferedEvents:]
+	}
+	for ch := range ex.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe returns a channel replaying the buffered events and then
+// streaming live ones; the channel closes when the execution finishes.
+// The returned cancel detaches early.
+func (ex *execution) subscribe() (<-chan api.Event, func()) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ch := make(chan api.Event, len(ex.events)+maxBufferedEvents)
+	for _, ev := range ex.events {
+		ch <- ev
+	}
+	if api.Terminal(ex.state) {
+		close(ch)
+		return ch, func() {}
+	}
+	ex.subs[ch] = struct{}{}
+	return ch, func() {
+		ex.mu.Lock()
+		defer ex.mu.Unlock()
+		if _, ok := ex.subs[ch]; ok {
+			delete(ex.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// job is one accepted submission: a client-visible handle onto an execution.
+type job struct {
+	id        string
+	key       string
+	cached    bool
+	deduped   bool
+	submitted time.Time
+	exec      *execution
+}
+
+// info renders the job's current JobInfo.
+func (j *job) info() api.JobInfo {
+	state, errMsg, result, started, finished := j.exec.snapshot()
+	inf := api.JobInfo{
+		ID:          j.id,
+		Key:         j.key,
+		State:       state,
+		Cached:      j.cached,
+		Deduped:     j.deduped,
+		Error:       errMsg,
+		SubmittedAt: j.submitted,
+		Result:      result,
+	}
+	if !started.IsZero() {
+		inf.StartedAt = &started
+	}
+	if !finished.IsZero() {
+		inf.FinishedAt = &finished
+	}
+	return inf
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"specmpk/internal/pipeline"
+	"specmpk/internal/server/api"
+)
+
+// runExecution is one worker's handling of one execution: simulate in
+// event-interval chunks, publish progress, resolve the terminal state, and
+// do the server-side bookkeeping (metrics, cache fill, single-flight slot).
+func (s *Server) runExecution(ex *execution) {
+	if !ex.start() {
+		// Cancelled while queued; Cancel already resolved it.
+		return
+	}
+	s.running.Add(1)
+	t0 := time.Now()
+	state, errMsg, result, cycle, insts := s.simulate(ex)
+	s.running.Add(-1)
+	if !ex.finish(state, errMsg, result, cycle, insts) {
+		return // lost the race with Cancel; it did the bookkeeping
+	}
+	s.wallMSTotal.Add(uint64(time.Since(t0).Milliseconds()))
+	switch state {
+	case api.StateDone:
+		s.jobsDone.Add(1)
+		s.cache.put(ex.key, result)
+	case api.StateFailed:
+		s.jobsFailed.Add(1)
+	case api.StateCancelled:
+		s.jobsCancelled.Add(1)
+	}
+	s.onExecutionDone(ex)
+}
+
+// simulate runs the job to completion, cancellation, or its cycle budget.
+// The machine runs in chunks of the event interval; each chunk boundary
+// publishes one progress event, so /v1/jobs/{id}/events streams at the same
+// cadence as specmpk-sim -stats-interval.
+//
+// A run that exhausts its cycle budget is DONE with stop reason
+// "cycle_limit", not failed: the budget is the job-timeout mechanism, and
+// the partial statistics are a legitimate (and cacheable — the budget is in
+// the key) result. "failed" is reserved for jobs that could not simulate at
+// all (bad config, unbuildable program).
+func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, cycle, insts uint64) {
+	spec := ex.spec
+	cfg, err := spec.MachineConfig()
+	if err != nil {
+		return api.StateFailed, err.Error(), nil, 0, 0
+	}
+	prog, err := spec.Program()
+	if err != nil {
+		return api.StateFailed, err.Error(), nil, 0, 0
+	}
+	m, err := pipeline.New(cfg, prog)
+	if err != nil {
+		return api.StateFailed, err.Error(), nil, 0, 0
+	}
+
+	budget := spec.MaxCycles
+	if budget == 0 {
+		budget = s.opt.MaxCycles
+	}
+	var prevCycle, prevInsts uint64
+	for {
+		next := m.Cycle() + s.opt.EventInterval
+		if next > budget {
+			next = budget
+		}
+		runErr := m.RunContext(ex.ctx, next)
+		st := m.Stats
+		switch {
+		case runErr == nil, st.Stop == pipeline.StopFault:
+			// Halt and fault are both terminal simulation outcomes; the
+			// result records which via stopReason.
+			return buildResult(ex, m)
+		case st.Stop == pipeline.StopCancelled:
+			return api.StateCancelled, runErr.Error(), nil, st.Cycles, st.Insts
+		case st.Stop == pipeline.StopCycleLimit:
+			if m.Cycle() >= budget || m.Cycle() == prevCycle {
+				// Budget exhausted — or Config.MaxCycles clamped the run
+				// below the next chunk boundary, so no further progress is
+				// possible. Either way the budget, not the program, ended
+				// the run.
+				return buildResult(ex, m)
+			}
+			dc, di := st.Cycles-prevCycle, st.Insts-prevInsts
+			ipc := 0.0
+			if dc > 0 {
+				ipc = float64(di) / float64(dc)
+			}
+			ex.progress(st.Cycles, st.Insts, ipc)
+			prevCycle, prevInsts = st.Cycles, st.Insts
+		default:
+			return api.StateFailed, runErr.Error(), nil, st.Cycles, st.Insts
+		}
+	}
+}
+
+// buildResult marshals the machine's final state into the canonical result
+// bytes. The encoding is deterministic (fixed struct field order, sorted map
+// keys), so identical specs produce bit-identical result bytes — the
+// property the content-addressed cache returns verbatim.
+func buildResult(ex *execution, m *pipeline.Machine) (state, errMsg string, result []byte, cycle, insts uint64) {
+	st := m.Stats
+	res := api.Result{
+		Key:        ex.key,
+		Version:    api.Version,
+		Spec:       ex.spec,
+		StopReason: string(st.Stop),
+		Stats:      st,
+		Metrics:    m.StatsRegistry().Snapshot().Flat(),
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return api.StateFailed, fmt.Sprintf("marshal result: %v", err), nil, st.Cycles, st.Insts
+	}
+	return api.StateDone, "", b, st.Cycles, st.Insts
+}

@@ -1,0 +1,347 @@
+// Package server implements specmpkd's core: a bounded job queue served by
+// a context-aware worker pool, single-flight deduplication of identical
+// in-flight requests, a content-addressed result cache keyed by the
+// canonical spec hash (internal/server/api), streamed per-job progress
+// events, Prometheus-rendered server metrics, and graceful drain.
+//
+// The simulator itself stays single-threaded per job — the server scales by
+// running independent machines on independent workers, which is exactly how
+// the experiment sweeps parallelize locally.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specmpk/internal/server/api"
+	"specmpk/internal/stats"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the pending-execution queue; submits beyond it are
+	// rejected with 503 rather than buffered without bound (0 = 256).
+	QueueSize int
+	// CacheEntries bounds the content-addressed result cache
+	// (0 = 512, negative disables caching).
+	CacheEntries int
+	// EventInterval is the progress-event cadence in simulated cycles
+	// (0 = 1,000,000).
+	EventInterval uint64
+	// MaxCycles is the default per-job cycle budget, the job-timeout
+	// backstop for specs that do not set their own (0 = 500,000,000).
+	MaxCycles uint64
+	// RetainJobs bounds how many finished job records stay queryable; the
+	// oldest are forgotten first (0 = 4096).
+	RetainJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 256
+	}
+	switch {
+	case o.CacheEntries < 0:
+		o.CacheEntries = 0 // disabled
+	case o.CacheEntries == 0:
+		o.CacheEntries = 512
+	}
+	if o.EventInterval == 0 {
+		o.EventInterval = 1_000_000
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 500_000_000
+	}
+	if o.RetainJobs <= 0 {
+		o.RetainJobs = 4096
+	}
+	return o
+}
+
+// Server is the simulation service. It is safe for concurrent use; create
+// with New and serve its Handler (or mount it — Server implements
+// http.Handler).
+type Server struct {
+	opt   Options
+	cache *resultCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue chan *execution
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	inflight map[string]*execution // key -> queued/running execution
+	finished []string              // finished job ids, oldest first (retention)
+	nextID   uint64
+
+	// Metrics (atomics: snapshotted concurrently with workers).
+	accepted, rejected   atomic.Uint64
+	deduped              atomic.Uint64
+	jobsDone, jobsFailed atomic.Uint64
+	jobsCancelled        atomic.Uint64
+	running              atomic.Int64
+	wallMSTotal          atomic.Uint64
+	reg                  *stats.Registry
+	registerMetricsOnce  sync.Once
+	handlerOnce          sync.Once
+	handler              http.Handler
+}
+
+// New builds a server and starts its worker pool.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opt:        opt,
+		cache:      newResultCache(opt.CacheEntries),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *execution, opt.QueueSize),
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*execution),
+	}
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// ErrUnavailable marks submit rejections that should surface as 503: the
+// queue is full or the server is draining.
+type ErrUnavailable struct{ Reason string }
+
+func (e ErrUnavailable) Error() string { return "server unavailable: " + e.Reason }
+
+// Submit validates and accepts one job. The fast paths never simulate:
+// a result-cache hit resolves immediately, and a spec identical to an
+// in-flight execution attaches to it (single-flight). Otherwise the job's
+// execution enters the bounded queue, or the submit is rejected with
+// ErrUnavailable when the queue is full or the server is draining.
+func (s *Server) Submit(spec api.JobSpec) (api.JobInfo, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return api.JobInfo{}, err
+	}
+	key, err := norm.Key()
+	if err != nil {
+		return api.JobInfo{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejected.Add(1)
+		return api.JobInfo{}, ErrUnavailable{Reason: "draining"}
+	}
+
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", s.nextID),
+		key:       key,
+		submitted: time.Now(),
+	}
+
+	if b, ok := s.cache.get(key); ok {
+		j.cached = true
+		j.exec = resolvedExecution(key, norm, b)
+		s.registerLocked(j)
+		s.retireLocked(j.id)
+		return j.info(), nil
+	}
+	if ex, ok := s.inflight[key]; ok {
+		j.deduped = true
+		j.exec = ex
+		s.deduped.Add(1)
+		s.registerLocked(j)
+		return j.info(), nil
+	}
+
+	ex := newExecution(s.baseCtx, key, norm)
+	select {
+	case s.queue <- ex:
+	default:
+		ex.cancel()
+		s.rejected.Add(1)
+		return api.JobInfo{}, ErrUnavailable{Reason: "queue full"}
+	}
+	j.exec = ex
+	s.inflight[key] = ex
+	s.registerLocked(j)
+	return j.info(), nil
+}
+
+func (s *Server) registerLocked(j *job) {
+	s.accepted.Add(1)
+	s.jobs[j.id] = j
+}
+
+// retireLocked records a job id as finished and enforces the retention cap.
+func (s *Server) retireLocked(id string) {
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.opt.RetainJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// Job returns a job's status.
+func (s *Server) Job(id string) (api.JobInfo, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return api.JobInfo{}, false
+	}
+	return j.info(), true
+}
+
+// Cancel cancels a job's execution: queued executions resolve immediately,
+// running ones are cancelled through their context (the pipeline polls it
+// every ~1k simulated cycles). Deduped jobs share their primary execution's
+// cancellation domain.
+func (s *Server) Cancel(id string) (api.JobInfo, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return api.JobInfo{}, false
+	}
+	ex := j.exec
+	ex.cancel()
+	// A queued execution has no worker to notice the cancellation yet;
+	// resolve it here. (A running one is finished by its worker.)
+	if ex.finish(api.StateCancelled, context.Canceled.Error(), nil, 0, 0) {
+		s.jobsCancelled.Add(1)
+		s.onExecutionDone(ex)
+	}
+	return j.info(), true
+}
+
+// Subscribe attaches to a job's event stream.
+func (s *Server) Subscribe(id string) (<-chan api.Event, func(), bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	ch, cancel := j.exec.subscribe()
+	return ch, cancel, true
+}
+
+// onExecutionDone clears the single-flight slot and retires the execution's
+// attached jobs into the retention window.
+func (s *Server) onExecutionDone(ex *execution) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[ex.key] == ex {
+		delete(s.inflight, ex.key)
+	}
+	for id, j := range s.jobs {
+		if j.exec == ex {
+			alreadyRetired := false
+			for _, fid := range s.finished {
+				if fid == id {
+					alreadyRetired = true
+					break
+				}
+			}
+			if !alreadyRetired {
+				s.retireLocked(id)
+			}
+		}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for ex := range s.queue {
+		s.runExecution(ex)
+	}
+}
+
+// Shutdown drains the server: new submits are rejected, queued and running
+// executions complete, then the worker pool exits. If ctx expires first,
+// every outstanding execution is cancelled (jobs resolve as "cancelled")
+// and the drain completes anyway; the context error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	// No submitter can be mid-send: sends happen under s.mu with draining
+	// false, and draining is now set.
+	close(s.queue)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Queue/pool introspection for tests and the daemon's logs.
+
+// QueueDepth returns the number of executions waiting for a worker.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Registry returns the server's metrics registry ("server.*" namespace),
+// building it on first use. Safe to snapshot concurrently with running
+// workers: every metric reads through an atomic.
+func (s *Server) Registry() *stats.Registry {
+	s.registerMetricsOnce.Do(func() {
+		r := stats.NewRegistry()
+		r.Counter("server.jobs.accepted", "jobs accepted (incl. cache hits and deduped attaches)", s.accepted.Load)
+		r.Counter("server.jobs.rejected", "submits rejected (queue full or draining)", s.rejected.Load)
+		r.Counter("server.jobs.deduped", "jobs attached to an identical in-flight execution", s.deduped.Load)
+		r.Counter("server.jobs.done", "executions completed successfully", s.jobsDone.Load)
+		r.Counter("server.jobs.failed", "executions failed", s.jobsFailed.Load)
+		r.Counter("server.jobs.cancelled", "executions cancelled", s.jobsCancelled.Load)
+		r.Counter("server.jobs.wall_ms_total", "total execution wall time (ms)", s.wallMSTotal.Load)
+		r.Counter("server.cache.hits", "result-cache hits", s.cache.hits.Load)
+		r.Counter("server.cache.misses", "result-cache misses", s.cache.misses.Load)
+		r.Counter("server.cache.evictions", "result-cache LRU evictions", s.cache.evictions.Load)
+		r.Gauge("server.cache.entries", "result-cache resident entries", func() float64 { return float64(s.cache.len()) })
+		r.Gauge("server.jobs.running", "executions currently on a worker", func() float64 { return float64(s.running.Load()) })
+		r.Gauge("server.queue.depth", "executions waiting for a worker", func() float64 { return float64(len(s.queue)) })
+		r.Gauge("server.queue.capacity", "bounded queue capacity", func() float64 { return float64(s.opt.QueueSize) })
+		r.Gauge("server.workers", "worker-pool size", func() float64 { return float64(s.opt.Workers) })
+		r.Formula("server.jobs.wall_avg_ms", "mean execution wall time (ms)",
+			func(get func(string) float64) float64 {
+				n := get("server.jobs.done") + get("server.jobs.failed") + get("server.jobs.cancelled")
+				if n == 0 {
+					return 0
+				}
+				return get("server.jobs.wall_ms_total") / n
+			})
+		s.reg = r
+	})
+	return s.reg
+}

@@ -72,6 +72,22 @@ const (
 	VariantRdpkru
 )
 
+// ParseVariant maps a variant name (as printed by Variant.String) back to
+// the Variant — the inverse the CLIs and the job-server API share.
+func ParseVariant(name string) (Variant, error) {
+	switch name {
+	case "full":
+		return VariantFull, nil
+	case "nop":
+		return VariantNop, nil
+	case "none":
+		return VariantNone, nil
+	case "rdpkru":
+		return VariantRdpkru, nil
+	}
+	return 0, fmt.Errorf("workload: unknown variant %q (want full|nop|none|rdpkru)", name)
+}
+
 func (v Variant) String() string {
 	switch v {
 	case VariantFull:

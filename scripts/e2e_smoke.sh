@@ -1,0 +1,66 @@
+#!/bin/sh
+# End-to-end smoke test for the specmpkd service path:
+#
+#   1. build specmpkd and specmpk-bench
+#   2. start the daemon on a loopback port
+#   3. run a small experiment through `specmpk-bench -remote` twice
+#   4. assert the second pass was answered from the result cache
+#   5. SIGTERM the daemon and require a clean drain
+#
+# Exercises the full stack (client -> HTTP -> queue -> workers -> pipeline ->
+# cache) the way a user would, not the way a unit test would.
+set -eu
+
+ADDR=${SPECMPKD_ADDR:-127.0.0.1:8351}
+WORKLOAD=548.exchange2_r # smallest pipeline workload: keeps the smoke fast
+BIN=$(mktemp -d)
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+echo "== build"
+go build -o "$BIN/specmpkd" ./cmd/specmpkd
+go build -o "$BIN/specmpk-bench" ./cmd/specmpk-bench
+
+echo "== start specmpkd on $ADDR"
+"$BIN/specmpkd" -addr "$ADDR" &
+PID=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/v1/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "specmpkd exited before becoming healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+curl -fsS "http://$ADDR/v1/healthz" >/dev/null
+
+echo "== remote experiment (cold)"
+"$BIN/specmpk-bench" -remote "$ADDR" -workloads "$WORKLOAD" -modes specmpk stats
+
+echo "== remote experiment (resubmit: must hit the cache)"
+"$BIN/specmpk-bench" -remote "$ADDR" -workloads "$WORKLOAD" -modes specmpk stats
+
+echo "== metrics"
+METRICS=$(curl -fsS "http://$ADDR/v1/metrics")
+echo "$METRICS" | grep -E '^server_(jobs_accepted|jobs_done|cache_hits) '
+HITS=$(echo "$METRICS" | awk '$1 == "server_cache_hits" { print $2 }')
+if [ "${HITS:-0}" -lt 1 ]; then
+    echo "FAIL: expected at least one cache hit on resubmit, got '${HITS:-}'" >&2
+    exit 1
+fi
+
+echo "== SIGTERM drain"
+kill -TERM "$PID"
+for i in $(seq 1 50); do
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: specmpkd did not exit within 10s of SIGTERM" >&2
+    exit 1
+fi
+wait "$PID" || { echo "FAIL: specmpkd exited non-zero" >&2; exit 1; }
+
+echo "PASS: e2e smoke (cold run, cache hit, clean drain)"
