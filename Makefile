@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet lint race race-core race-server e2e-smoke bench fuzz-smoke profile-artifact check clean
+.PHONY: all build test vet lint race race-core race-server chaos e2e-smoke bench fuzz-smoke profile-artifact check clean
 
 all: check
 
@@ -37,8 +37,17 @@ race-core:
 race-server:
 	$(GO) test -race ./internal/server/...
 
+# Chaos drill: the fault-injection framework's own tests, the client's
+# retry/backoff/resubmission suite, and the chaos + deadline + cache-race
+# suites, all under the race detector — injected faults and latency fire on
+# the production goroutines, so -race is part of the assertion.
+chaos:
+	$(GO) test -race -count=1 ./internal/faults ./internal/server/client
+	$(GO) test -race -count=1 -run 'Chaos|Deadline|Cache' ./internal/server
+
 # Full-stack service smoke: build specmpkd, submit an experiment through
-# specmpk-bench -remote twice, assert a cache hit, and drain on SIGTERM.
+# specmpk-bench -remote twice, assert a cache hit, SIGKILL the daemon under a
+# live client and require recovery-by-resubmission, and drain on SIGTERM.
 e2e-smoke:
 	sh scripts/e2e_smoke.sh
 

@@ -18,7 +18,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +26,7 @@ import (
 
 	"specmpk/internal/experiments"
 	"specmpk/internal/pipeline"
-	"specmpk/internal/server/api"
 	"specmpk/internal/server/client"
-	"specmpk/internal/workload"
 )
 
 func main() {
@@ -53,7 +50,7 @@ func main() {
 		r.Workloads = strings.Split(*workloads, ",")
 	}
 	if *remote != "" {
-		r.Sim = remoteSim(client.New(*remote))
+		r.Sim = experiments.RemoteSim(client.New(*remote))
 	}
 	if *modes != "" {
 		for _, name := range strings.Split(*modes, ",") {
@@ -76,26 +73,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "specmpk-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-	}
-}
-
-// remoteSim adapts a specmpkd client into the experiments.SimFunc seam: one
-// simulation request becomes one daemon job. The daemon dedups identical
-// in-flight specs and serves repeats from its result cache, so a sweep whose
-// experiments share baselines costs each unique spec exactly once.
-func remoteSim(c *client.Client) experiments.SimFunc {
-	return func(p workload.Profile, v workload.Variant, cfg pipeline.Config) (experiments.SimResult, error) {
-		res, _, err := c.Run(context.Background(), api.SpecFor(p.Name, v, cfg))
-		if err != nil {
-			return experiments.SimResult{}, fmt.Errorf("%s/%v/%v: %w", p.Name, v, cfg.Mode, err)
-		}
-		// Local runs treat a budget-bounded (non-halting) workload as an
-		// error; mirror that so remote sweeps fail the same way.
-		if res.StopReason != string(pipeline.StopHalt) {
-			return experiments.SimResult{}, fmt.Errorf("%s/%v/%v: remote run stopped with %q",
-				p.Name, v, cfg.Mode, res.StopReason)
-		}
-		return experiments.SimResult{Stats: res.Stats, Metrics: res.Metrics}, nil
 	}
 }
 

@@ -8,7 +8,7 @@
 //
 //	specmpkd [-addr :8351] [-j N] [-queue 256] [-cache 512]
 //	         [-event-interval 1000000] [-max-cycles 500000000]
-//	         [-drain-timeout 2m]
+//	         [-max-wall-ms 0] [-drain-timeout 2m] [-faults plan.json]
 //
 // API (see internal/server):
 //
@@ -22,6 +22,13 @@
 // SIGTERM/SIGINT drain gracefully: new submits are rejected with 503 while
 // queued and running jobs finish, bounded by -drain-timeout; on expiry the
 // stragglers are cancelled through their contexts.
+//
+// -max-wall-ms bounds each job's wall-clock execution (0 = unlimited);
+// a job that exhausts it fails with a "deadline:" error and is never cached.
+//
+// -faults arms a fault-injection plan (internal/faults) for staging chaos
+// drills: injected errors/panics/latency/drops fire at the registered
+// service seams. Never arm faults on a production instance.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"specmpk/internal/faults"
 	"specmpk/internal/server"
 )
 
@@ -48,9 +56,23 @@ func main() {
 		cache    = flag.Int("cache", 512, "result-cache entries (negative disables caching)")
 		interval = flag.Uint64("event-interval", 1_000_000, "progress-event cadence in simulated cycles")
 		maxCyc   = flag.Uint64("max-cycles", 500_000_000, "default per-job cycle budget (job timeout)")
+		maxWall  = flag.Uint64("max-wall-ms", 0, "default per-job wall-clock budget in ms (0 = unlimited); exceeding it fails the job")
 		drain    = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for in-flight jobs")
+		faultsAt = flag.String("faults", "", "arm a fault-injection plan from this JSON file (staging/chaos drills only)")
 	)
 	flag.Parse()
+
+	if *faultsAt != "" {
+		plan, err := faults.LoadFile(*faultsAt)
+		if err != nil {
+			log.Fatalf("specmpkd: %v", err)
+		}
+		if err := faults.Arm(plan); err != nil {
+			log.Fatalf("specmpkd: %v", err)
+		}
+		log.Printf("specmpkd: FAULT INJECTION ARMED from %s (%d rules, seed %d) — not for production",
+			*faultsAt, len(plan.Rules), plan.Seed)
+	}
 
 	s := server.New(server.Options{
 		Workers:       *workers,
@@ -58,13 +80,23 @@ func main() {
 		CacheEntries:  *cache,
 		EventInterval: *interval,
 		MaxCycles:     *maxCyc,
+		MaxWallMS:     *maxWall,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("specmpkd: %v", err)
 	}
-	hs := &http.Server{Handler: s}
+	hs := &http.Server{
+		Handler: s,
+		// Bound the request-ingestion side so a slowloris peer cannot pin
+		// connections open forever (and hang graceful shutdown with them).
+		// WriteTimeout deliberately stays zero: /v1/jobs/{id}/events streams
+		// for the whole simulation.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	log.Printf("specmpkd: listening on %s", ln.Addr())
 
 	serveErr := make(chan error, 1)

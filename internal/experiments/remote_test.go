@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specmpk/internal/pipeline"
+	"specmpk/internal/server/api"
+	"specmpk/internal/server/client"
+	"specmpk/internal/workload"
+)
+
+// TestRemoteSimRetriesTransientFailures: the -remote seam must absorb a
+// daemon that transiently rejects (503) before accepting, and must not
+// retry terminal job failures.
+func TestRemoteSimRetriesTransientFailures(t *testing.T) {
+	result := api.Result{Key: "k", Version: "test", StopReason: "halt",
+		Stats: pipeline.Stats{Cycles: 100, Insts: 50}}
+	resultJSON, err := json.Marshal(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"queue full"}`)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.JobInfo{
+			ID: "j-1", State: api.StateDone, Result: resultJSON,
+		})
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	c.Retry = client.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	sim := RemoteSim(c)
+	res, err := sim(workload.Profile{Name: "w"}, workload.VariantFull, pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles != 100 {
+		t.Fatalf("result stats %+v", res.Stats)
+	}
+}
+
+// TestRemoteSimDoesNotRetryTerminalFailures: a failed job (bad spec, panic,
+// deadline) is deterministic — re-running reproduces it, so RemoteSim must
+// surface it after one attempt.
+func TestRemoteSimDoesNotRetryTerminalFailures(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.JobInfo{
+			ID: "j-1", State: api.StateFailed, Error: "deadline: wall-clock budget (10 ms) exceeded at cycle 42",
+		})
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	c.Retry = client.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	sim := RemoteSim(c)
+	if _, err := sim(workload.Profile{Name: "w"}, workload.VariantFull, pipeline.DefaultConfig()); err == nil {
+		t.Fatal("terminal failure succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("daemon saw %d submits for a terminal failure, want 1", got)
+	}
+}

@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// disarmed points must be registered once per name; tests share the package
+// registry, so use test-scoped names and always disarm on cleanup.
+func armed(t *testing.T, plan Plan) {
+	t.Helper()
+	if err := Arm(plan); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(Disarm)
+}
+
+func TestDisarmedPointIsNoop(t *testing.T) {
+	p := Register("test.noop")
+	for i := 0; i < 1000; i++ {
+		if err := p.Fire(); err != nil {
+			t.Fatalf("disarmed point fired: %v", err)
+		}
+	}
+}
+
+func TestRegisterIsIdempotent(t *testing.T) {
+	a := Register("test.idem")
+	b := Register("test.idem")
+	if a != b {
+		t.Fatal("Register returned distinct points for one name")
+	}
+}
+
+func TestErrorActionFires(t *testing.T) {
+	p := Register("test.err")
+	armed(t, Plan{Rules: []Rule{{Point: "test.err", Action: ActionError, Message: "boom"}}})
+	err := p.Fire()
+	if err == nil || !IsInjected(err) {
+		t.Fatalf("Fire = %v, want injected error", err)
+	}
+	if IsDrop(err) {
+		t.Fatal("error action classified as drop")
+	}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Point != "test.err" || inj.Message != "boom" {
+		t.Fatalf("injected = %+v", inj)
+	}
+}
+
+func TestDefaultActionIsError(t *testing.T) {
+	p := Register("test.default")
+	armed(t, Plan{Rules: []Rule{{Point: "test.default"}}})
+	if err := p.Fire(); !IsInjected(err) || IsDrop(err) {
+		t.Fatalf("Fire = %v, want injected error", err)
+	}
+}
+
+func TestDropAction(t *testing.T) {
+	p := Register("test.drop")
+	armed(t, Plan{Rules: []Rule{{Point: "test.drop", Action: ActionDrop}}})
+	if err := p.Fire(); !IsDrop(err) {
+		t.Fatalf("Fire = %v, want drop", err)
+	}
+}
+
+func TestPanicActionPanicsWithInjected(t *testing.T) {
+	p := Register("test.panic")
+	armed(t, Plan{Rules: []Rule{{Point: "test.panic", Action: ActionPanic, Message: "chaos"}}})
+	defer func() {
+		r := recover()
+		inj, ok := r.(*Injected)
+		if !ok || inj.Action != ActionPanic || inj.Message != "chaos" {
+			t.Fatalf("recovered %v (%T), want *Injected panic", r, r)
+		}
+	}()
+	_ = p.Fire()
+	t.Fatal("panic action did not panic")
+}
+
+func TestLatencyActionSleeps(t *testing.T) {
+	p := Register("test.latency")
+	armed(t, Plan{Rules: []Rule{{Point: "test.latency", Action: ActionLatency, DelayMS: 20}}})
+	t0 := time.Now()
+	if err := p.Fire(); err != nil {
+		t.Fatalf("latency action returned error %v", err)
+	}
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Fatalf("latency fault slept %v, want >= 20ms", d)
+	}
+}
+
+func TestAfterHitsAndTimes(t *testing.T) {
+	p := Register("test.gates")
+	armed(t, Plan{Rules: []Rule{{Point: "test.gates", AfterHits: 2, Times: 3}}})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if p.Fire() != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want exactly 3 (after 2 free hits)", fired)
+	}
+	if got := p.FiredCount(); got != 3 {
+		t.Fatalf("FiredCount = %d, want 3", got)
+	}
+}
+
+func TestTimesCapIsExactUnderConcurrency(t *testing.T) {
+	p := Register("test.cap")
+	armed(t, Plan{Rules: []Rule{{Point: "test.cap", Times: 7}}})
+	var count int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if p.Fire() != nil {
+					mu.Lock()
+					count++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 7 {
+		t.Fatalf("fired %d times under concurrency, want exactly 7", count)
+	}
+}
+
+// TestProbabilityIsSeededDeterministic replays one plan twice through a
+// single-threaded hit sequence and requires the identical fire pattern.
+func TestProbabilityIsSeededDeterministic(t *testing.T) {
+	p := Register("test.prob")
+	pattern := func() []bool {
+		armed(t, Plan{Seed: 42, Rules: []Rule{{Point: "test.prob", Probability: 0.3}}})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = p.Fire() != nil
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire pattern diverged at hit %d despite identical seed", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.3 fired %d/%d — probability gate not applied", fired, len(a))
+	}
+}
+
+func TestArmRejectsBadPlans(t *testing.T) {
+	Register("test.valid")
+	cases := []Plan{
+		{Rules: []Rule{{Point: "test.no-such-point"}}},
+		{Rules: []Rule{{Point: "test.valid"}, {Point: "test.valid"}}},
+		{Rules: []Rule{{Point: "test.valid", Action: "explode"}}},
+		{Rules: []Rule{{Point: "test.valid", Probability: 1.5}}},
+		{Rules: []Rule{{Point: "test.valid", Action: ActionLatency}}},
+	}
+	for i, plan := range cases {
+		if err := Arm(plan); err == nil {
+			Disarm()
+			t.Fatalf("case %d: bad plan armed without error", i)
+		}
+	}
+}
+
+func TestDisarmRestoresNoop(t *testing.T) {
+	p := Register("test.disarm")
+	armed(t, Plan{Rules: []Rule{{Point: "test.disarm"}}})
+	if p.Fire() == nil {
+		t.Fatal("armed point did not fire")
+	}
+	Disarm()
+	if err := p.Fire(); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	Register("test.file")
+	path := filepath.Join(t.TempDir(), "plan.json")
+	body := `{"seed": 7, "rules": [{"point": "test.file", "action": "latency", "delayMS": 5}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 7 || len(plan.Rules) != 1 || plan.Rules[0].DelayMS != 5 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	armed(t, plan)
+
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestNamesIncludesRegisteredPoints(t *testing.T) {
+	Register("test.names")
+	names := Names()
+	for _, n := range names {
+		if n == "test.names" {
+			return
+		}
+	}
+	t.Fatalf("Names() = %v missing test.names", names)
+}

@@ -23,6 +23,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"specmpk/internal/asm"
@@ -171,6 +172,12 @@ const (
 	StopInstLimit StopReason = "inst_limit"
 	// StopCancelled: RunContext's context was cancelled mid-run.
 	StopCancelled StopReason = "cancelled"
+	// StopDeadline: RunContext's context expired (context.DeadlineExceeded)
+	// mid-run — the wall-clock budget, not the cycle budget, ended the run.
+	// Unlike StopCycleLimit the partial statistics are host-dependent (how
+	// far the run got depends on machine speed), so servers must not cache
+	// deadline-stopped results.
+	StopDeadline StopReason = "deadline"
 )
 
 // Stats are the counters a run accumulates.
@@ -679,7 +686,11 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles uint64) error {
 		if done != nil && m.cycle%ctxCheckInterval == 0 {
 			select {
 			case <-done:
-				m.Stats.Stop = StopCancelled
+				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					m.Stats.Stop = StopDeadline
+				} else {
+					m.Stats.Stop = StopCancelled
+				}
 				return ctx.Err()
 			default:
 			}

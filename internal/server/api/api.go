@@ -54,6 +54,12 @@ type JobSpec struct {
 	// that exhausts it completes with stop reason "cycle_limit" — this is
 	// also the server's job-timeout mechanism.
 	MaxCycles uint64 `json:"maxCycles,omitempty"`
+	// MaxWallMS caps the job's wall-clock execution time in milliseconds;
+	// 0 accepts the server's default (which may be unlimited). Unlike the
+	// cycle budget, exhausting the wall-clock budget FAILS the job: how many
+	// cycles fit in a wall-clock window depends on the host, so a partial
+	// result would not be deterministic and is never cached.
+	MaxWallMS uint64 `json:"maxWallMS,omitempty"`
 }
 
 // Normalize validates the spec and returns its canonical form: program

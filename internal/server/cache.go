@@ -37,7 +37,13 @@ func newResultCache(max int) *resultCache {
 }
 
 // get returns the cached canonical bytes for key, counting the hit or miss.
+// An injected fault at server.cache.get degrades to a miss — a flaky cache
+// must cost a re-simulation, never a failed request.
 func (c *resultCache) get(key string) ([]byte, bool) {
+	if err := fpCacheGet.Fire(); err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
 	if c.max <= 0 {
 		c.misses.Add(1)
 		return nil, false
@@ -56,8 +62,13 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 
 // put stores the canonical bytes for key, evicting the least recently used
 // entry when full. Re-putting an existing key refreshes its recency (the
-// bytes are identical by construction).
+// bytes are identical by construction). An injected fault at
+// server.cache.put skips the fill: the job still succeeds, the next
+// identical spec just re-simulates.
 func (c *resultCache) put(key string, b []byte) {
+	if err := fpCachePut.Fire(); err != nil {
+		return
+	}
 	if c.max <= 0 {
 		return
 	}

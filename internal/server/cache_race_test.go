@@ -1,0 +1,154 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"specmpk/internal/server/api"
+)
+
+// Run these under -race (make chaos): they exist to widen the window on the
+// cache's lock discipline and the submit path's single-flight dedup.
+
+// TestCacheHammerPutGetEvict pounds put/get from many goroutines against a
+// cache far smaller than the key space, forcing constant LRU eviction. Any
+// bytes a get returns must be exactly what was put under that key, and the
+// entry count must respect the bound throughout.
+func TestCacheHammerPutGetEvict(t *testing.T) {
+	const (
+		maxEntries = 8
+		keySpace   = 64
+		workers    = 16
+		opsEach    = 2000
+	)
+	c := newResultCache(maxEntries)
+	payload := func(k int) string { return fmt.Sprintf("result-for-key-%03d", k) }
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				k := (w*31 + i*17) % keySpace
+				key := fmt.Sprintf("key-%03d", k)
+				if i%3 == 0 {
+					c.put(key, []byte(payload(k)))
+				} else if b, ok := c.get(key); ok && string(b) != payload(k) {
+					errs <- fmt.Errorf("key %s returned %q, want %q", key, b, payload(k))
+					return
+				}
+				if n := c.len(); n > maxEntries {
+					errs <- fmt.Errorf("cache grew to %d entries, bound is %d", n, maxEntries)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := c.len(); n > maxEntries {
+		t.Fatalf("final cache size %d exceeds bound %d", n, maxEntries)
+	}
+}
+
+// TestCacheDedupUnderPressure drives many concurrent submitters over a few
+// distinct specs through a server whose cache is smaller than the spec set,
+// so in-flight dedup, cache hits, and evictions all race. Every submission
+// must land on a done job with the same canonical bytes per spec.
+func TestCacheDedupUnderPressure(t *testing.T) {
+	const (
+		distinctSpecs = 6
+		submitters    = 36
+	)
+	s := newTestServer(t, Options{Workers: 4, QueueSize: 256, CacheEntries: 2, EventInterval: 1000})
+
+	var mu sync.Mutex
+	canonical := make(map[int]string) // spec index -> result bytes
+	var wg sync.WaitGroup
+	errs := make([]error, submitters)
+	wg.Add(submitters)
+	for i := 0; i < submitters; i++ {
+		go func(i int) {
+			defer wg.Done()
+			si := i % distinctSpecs
+			info, err := s.Submit(uniqueSpec(si, 5_000))
+			if err != nil {
+				errs[i] = fmt.Errorf("submit %d: %v", i, err)
+				return
+			}
+			final := waitJob(t, s, info.ID)
+			if final.State != api.StateDone {
+				errs[i] = fmt.Errorf("job %s: state %s (%s)", info.ID, final.State, final.Error)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if prev, ok := canonical[si]; !ok {
+				canonical[si] = string(final.Result)
+			} else if prev != string(final.Result) {
+				errs[i] = fmt.Errorf("spec %d: divergent results under dedup/eviction pressure", si)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.cache.len(); n > 2 {
+		t.Fatalf("cache size %d exceeds configured bound 2", n)
+	}
+}
+
+// TestCancelledJobNeverPoisonsCache cancels a running job and requires that
+// nothing it produced (it produced nothing) reaches the cache: a later
+// lookup of the same spec must miss.
+func TestCancelledJobNeverPoisonsCache(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, EventInterval: 10_000})
+	spec := spinSpec(1 << 40)
+	info, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, _ := s.Job(info.ID)
+		if cur.State == api.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := s.Cancel(info.ID); !ok {
+		t.Fatal("cancel failed")
+	}
+	final := waitJob(t, s, info.ID)
+	if final.State != api.StateCancelled {
+		t.Fatalf("state %s, want cancelled", final.State)
+	}
+
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := norm.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.cache.get(key); ok {
+		t.Fatal("cancelled job's key answers from the cache")
+	}
+	if n := s.cache.len(); n != 0 {
+		t.Fatalf("cache holds %d entries after a lone cancelled job", n)
+	}
+}

@@ -2,6 +2,15 @@
 // what `specmpk-bench -remote` builds on: Submit/Wait/Run map one experiment
 // simulation onto one daemon job, with the daemon's content-addressed cache
 // and single-flight dedup collapsing repeated specs across sweep runs.
+//
+// The client is resilient by default: transient failures — connection
+// resets, daemon restarts, 503 overload/drain responses (whose Retry-After
+// is honored), truncated event streams — are retried with capped
+// exponential backoff and jitter. Because job specs are content-addressed,
+// every retry is idempotent: resubmitting a spec lands on the cache, an
+// identical in-flight execution, or the same deterministic simulation, so
+// Run can even survive the daemon being killed and restarted mid-job by
+// resubmitting when the new daemon no longer knows the job id.
 package client
 
 import (
@@ -9,9 +18,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,6 +33,10 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// Retry shapes the resilience layer. Set it (or leave the zero value
+	// for the defaults) before the first call.
+	Retry RetryPolicy
 }
 
 // New returns a client for addr ("host:port" or a full http:// URL).
@@ -41,6 +56,8 @@ func New(addr string) *Client {
 type APIError struct {
 	Status int
 	Msg    string
+	// RetryAfter is the server's Retry-After hint, when present.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -50,6 +67,63 @@ func (e *APIError) Error() string {
 // Unavailable reports whether the error is a 503 — queue full or draining —
 // i.e. worth retrying elsewhere or later.
 func (e *APIError) Unavailable() bool { return e.Status == http.StatusServiceUnavailable }
+
+// JobError is a job that reached a terminal state other than done — failed
+// (bad spec, panicking simulation, wall-clock deadline) or cancelled. It is
+// never transient: the spec is deterministic, so re-running reproduces it.
+type JobError struct {
+	Info api.JobInfo
+}
+
+func (e *JobError) Error() string {
+	if e.Info.State == api.StateCancelled {
+		return fmt.Sprintf("specmpkd: job %s cancelled", e.Info.ID)
+	}
+	return fmt.Sprintf("specmpkd: job %s failed: %s", e.Info.ID, e.Info.Error)
+}
+
+// IsUnknownJob reports whether err is the daemon disowning a job id (404) —
+// after a restart, every pre-restart id is gone. The recovery is not to
+// retry the status call but to resubmit the spec, which the
+// content-addressed key makes idempotent; Run does this automatically.
+func IsUnknownJob(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound
+}
+
+// IsTransient reports whether err is a failure the retry layer classifies
+// as retryable — a transport error or an overload response. Batch callers
+// use it to retry one job without abandoning the sweep.
+func IsTransient(err error) bool {
+	_, ok := transient(err)
+	return ok
+}
+
+// transient classifies err for the retry layer: true for failures where a
+// later identical attempt can succeed — transport errors (daemon
+// restarting, connection reset) and 502/503/504 responses — along with any
+// server-provided Retry-After delay. Context cancellation and every other
+// API error (400 bad spec, 404 unknown job, 500 bugs) are permanent.
+func transient(err error) (retryAfter time.Duration, ok bool) {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 0, false
+	}
+	var jobErr *JobError
+	if errors.As(err, &jobErr) {
+		return 0, false // terminal job outcome: deterministic, never retried
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusServiceUnavailable, http.StatusBadGateway, http.StatusGatewayTimeout:
+			return apiErr.RetryAfter, true
+		}
+		return 0, false
+	}
+	// Not an API response at all: the request never completed (dial, reset,
+	// truncated body). Safe to retry — the whole API is idempotent.
+	return 0, true
+}
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
@@ -82,6 +156,28 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// doRetry is do wrapped in the resilience layer: transient failures are
+// retried up to the policy's attempt budget with backoff (or the server's
+// Retry-After), permanent ones return immediately.
+func (c *Client) doRetry(ctx context.Context, method, path string, body, out any) error {
+	bo := newBackoff(c.Retry)
+	attempts := c.Retry.attempts()
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = c.do(ctx, method, path, body, out); err == nil {
+			return nil
+		}
+		ra, ok := transient(err)
+		if !ok || i == attempts-1 {
+			return err
+		}
+		if serr := bo.sleep(ctx, ra); serr != nil {
+			return err
+		}
+	}
+	return err
+}
+
 func decodeErr(resp *http.Response) error {
 	var e struct {
 		Error string `json:"error"`
@@ -93,49 +189,105 @@ func decodeErr(resp *http.Response) error {
 	if e.Error == "" {
 		e.Error = resp.Status
 	}
-	return &APIError{Status: resp.StatusCode, Msg: e.Error}
+	apiErr := &APIError{Status: resp.StatusCode, Msg: e.Error}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+		apiErr.RetryAfter = time.Duration(ra) * time.Second
+	}
+	return apiErr
 }
 
 // Submit enqueues a job and returns its initial status (terminal already on
-// a cache hit).
+// a cache hit). Transient rejections (503 queue-full/draining, transport
+// errors) are retried — content addressing makes resubmission free.
 func (c *Client) Submit(ctx context.Context, spec api.JobSpec) (api.JobInfo, error) {
 	var info api.JobInfo
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &info)
+	err := c.doRetry(ctx, http.MethodPost, "/v1/jobs", spec, &info)
 	return info, err
 }
 
 // Job fetches a job's current status.
 func (c *Client) Job(ctx context.Context, id string) (api.JobInfo, error) {
 	var info api.JobInfo
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &info)
+	err := c.doRetry(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &info)
 	return info, err
 }
 
 // Cancel requests cancellation and returns the job's status.
 func (c *Client) Cancel(ctx context.Context, id string) (api.JobInfo, error) {
 	var info api.JobInfo
-	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &info)
+	err := c.doRetry(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &info)
 	return info, err
 }
 
+// maxEventLine caps one NDJSON event line. Events are small, but the cap is
+// deliberately generous so a future fatter payload degrades to memory use,
+// not a silently truncated stream (bufio.Scanner errors past its cap).
+const maxEventLine = 8 << 20
+
 // Events streams the job's NDJSON progress events, calling fn for each until
-// the stream ends (the last event has Final set), fn returns an error, or
-// ctx is cancelled.
+// the final event arrives, fn returns an error, or ctx is cancelled. A
+// stream that drops mid-flight (daemon restart, proxy timeout, injected
+// fault) is reconnected with backoff; the daemon replays its event buffer on
+// resubscription and the client skips already-delivered sequence numbers, so
+// fn sees each event once, in order, across reconnects. Events returns nil
+// if the stream ends cleanly without a final event (job already terminal
+// before subscribing and its buffer was replayed, or the subscription was
+// detached server-side) — callers confirm terminal state via Job.
 func (c *Client) Events(ctx context.Context, id string, fn func(api.Event) error) error {
+	bo := newBackoff(c.Retry)
+	attempts := c.Retry.attempts()
+	var lastSeq uint64
+	failures := 0
+	for {
+		progressed, err := c.streamEvents(ctx, id, &lastSeq, fn)
+		if err == nil {
+			return nil // final event delivered or clean end of stream
+		}
+		var fe *callbackError
+		if errors.As(err, &fe) {
+			return fe.err // fn aborted the stream: its error, verbatim
+		}
+		if _, ok := transient(err); !ok {
+			return err
+		}
+		if progressed {
+			failures = 0
+			bo.reset()
+		}
+		failures++
+		if failures >= attempts {
+			return err
+		}
+		if serr := bo.sleep(ctx, 0); serr != nil {
+			return err
+		}
+	}
+}
+
+// callbackError tags an error returned by the caller's event callback so
+// the reconnection loop surfaces it instead of retrying past it.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+
+// streamEvents runs one events connection, delivering events newer than
+// *lastSeq. It returns nil when the stream ended cleanly (final event or
+// EOF) and reports whether any new event arrived on this connection.
+func (c *Client) streamEvents(ctx context.Context, id string, lastSeq *uint64, fn func(api.Event) error) (progressed bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
-		return err
+		return false, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return decodeErr(resp)
+		return false, decodeErr(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxEventLine)
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -143,22 +295,32 @@ func (c *Client) Events(ctx context.Context, id string, fn func(api.Event) error
 		}
 		var ev api.Event
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("specmpkd: bad event line: %w", err)
+			return progressed, fmt.Errorf("specmpkd: bad event line: %w", err)
 		}
+		if ev.Seq <= *lastSeq {
+			continue // replayed on reconnection; already delivered
+		}
+		*lastSeq = ev.Seq
+		progressed = true
 		if err := fn(ev); err != nil {
-			return err
+			return progressed, &callbackError{err: err}
+		}
+		if ev.Final {
+			return progressed, nil
 		}
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
-		return err
+		return progressed, err
 	}
-	return ctx.Err()
+	return progressed, ctx.Err()
 }
 
 // Wait blocks until the job reaches a terminal state and returns its final
 // status. It rides the event stream (so waiting costs no polling) and falls
-// back to polling if the stream drops.
+// back to re-polling with capped exponential backoff plus jitter when the
+// stream drops or ends inconclusively.
 func (c *Client) Wait(ctx context.Context, id string) (api.JobInfo, error) {
+	bo := newBackoff(c.Retry)
 	for {
 		info, err := c.Job(ctx, id)
 		if err != nil {
@@ -167,46 +329,63 @@ func (c *Client) Wait(ctx context.Context, id string) (api.JobInfo, error) {
 		if api.Terminal(info.State) {
 			return info, nil
 		}
-		// Block on the event stream until it closes, then re-fetch.
-		if err := c.Events(ctx, id, func(api.Event) error { return nil }); err != nil {
-			if ctx.Err() != nil {
-				return api.JobInfo{}, ctx.Err()
-			}
-			// Stream dropped (daemon restart, proxy timeout): poll gently.
-			select {
-			case <-ctx.Done():
-				return api.JobInfo{}, ctx.Err()
-			case <-time.After(200 * time.Millisecond):
-			}
+		// Block on the event stream (reconnecting internally) until it
+		// closes, then re-check; a terminal state returns without sleeping.
+		streamErr := c.Events(ctx, id, func(api.Event) error { return nil })
+		if ctx.Err() != nil {
+			return api.JobInfo{}, ctx.Err()
+		}
+		if info, err := c.Job(ctx, id); err == nil && api.Terminal(info.State) {
+			return info, nil
+		} else if err != nil {
+			return api.JobInfo{}, err
+		}
+		_ = streamErr // inconclusive stream: poll again, backed off
+		if err := bo.sleep(ctx, 0); err != nil {
+			return api.JobInfo{}, err
 		}
 	}
 }
 
+// resubmitAttempts bounds how many times Run re-runs the submit+wait cycle
+// when the daemon disowns a job id mid-wait (it restarted and lost its
+// in-memory state). Each pass already carries the full retry budget.
+const resubmitAttempts = 3
+
 // Run submits the spec and waits for the result — the one-call path the
 // remote experiment runner uses. The returned JobInfo reports whether the
-// result came from the cache.
+// result came from the cache. If the daemon restarts mid-job and no longer
+// knows the job id, Run resubmits the spec: the content-addressed key
+// guarantees the resubmission asks for exactly the same simulation.
 func (c *Client) Run(ctx context.Context, spec api.JobSpec) (api.Result, api.JobInfo, error) {
-	info, err := c.Submit(ctx, spec)
-	if err != nil {
-		return api.Result{}, api.JobInfo{}, err
-	}
-	if !api.Terminal(info.State) {
-		if info, err = c.Wait(ctx, info.ID); err != nil {
-			return api.Result{}, info, err
+	var lastErr error
+	for attempt := 0; attempt < resubmitAttempts; attempt++ {
+		info, err := c.Submit(ctx, spec)
+		if err != nil {
+			return api.Result{}, api.JobInfo{}, err
+		}
+		if !api.Terminal(info.State) {
+			if info, err = c.Wait(ctx, info.ID); err != nil {
+				if IsUnknownJob(err) && ctx.Err() == nil {
+					lastErr = err
+					continue
+				}
+				return api.Result{}, info, err
+			}
+		}
+		switch info.State {
+		case api.StateDone:
+			var res api.Result
+			if err := json.Unmarshal(info.Result, &res); err != nil {
+				return api.Result{}, info, fmt.Errorf("specmpkd: bad result payload: %w", err)
+			}
+			return res, info, nil
+		default:
+			return api.Result{}, info, &JobError{Info: info}
 		}
 	}
-	switch info.State {
-	case api.StateDone:
-		var res api.Result
-		if err := json.Unmarshal(info.Result, &res); err != nil {
-			return api.Result{}, info, fmt.Errorf("specmpkd: bad result payload: %w", err)
-		}
-		return res, info, nil
-	case api.StateCancelled:
-		return api.Result{}, info, fmt.Errorf("specmpkd: job %s cancelled", info.ID)
-	default:
-		return api.Result{}, info, fmt.Errorf("specmpkd: job %s failed: %s", info.ID, info.Error)
-	}
+	return api.Result{}, api.JobInfo{}, fmt.Errorf("specmpkd: job lost %d times across daemon restarts: %w",
+		resubmitAttempts, lastErr)
 }
 
 // Metrics fetches the Prometheus exposition text.
@@ -227,7 +406,8 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(b), err
 }
 
-// Healthz probes daemon liveness.
+// Healthz probes daemon liveness. Deliberately retry-free: health probes
+// report the instant truth, the prober supplies its own cadence.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
 }

@@ -3,8 +3,12 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 
+	"specmpk/internal/faults"
 	"specmpk/internal/server/api"
 )
 
@@ -25,9 +29,43 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 		mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 		mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-		s.handler = mux
+		s.handler = s.recoverMiddleware(mux)
 	})
 	s.handler.ServeHTTP(w, r)
+}
+
+// recoverMiddleware is the HTTP-side panic boundary (the worker pool has
+// its own): a panicking handler answers 500 on that one request instead of
+// tearing the connection down, and the daemon keeps serving. It also hosts
+// the server.http.request fault point: injected errors answer a retryable
+// 503, injected drops abort the connection mid-request (what a crashed
+// proxy looks like to the client), injected latency stalls the response.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec) // deliberate abort: let net/http suppress it
+			}
+			s.panicsRecovered.Add(1)
+			log.Printf("specmpkd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Headers may already be gone (mid-stream panic); this is then a
+			// no-op and the client sees a truncated body instead.
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+		}()
+		if err := fpHTTPRequest.Fire(); err != nil {
+			if faults.IsDrop(err) {
+				panic(http.ErrAbortHandler)
+			}
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 type httpError struct {
@@ -107,6 +145,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case ev, open := <-ch:
 			if !open {
+				return
+			}
+			// Stream fault point: an injected error or drop truncates the
+			// stream mid-flight with no final event — the failure mode of a
+			// daemon restart or a proxy timeout, which clients must survive
+			// by re-polling (the replay buffer makes resubscription lossless).
+			if err := fpEventsStream.Fire(); err != nil {
 				return
 			}
 			if err := enc.Encode(ev); err != nil {

@@ -1,13 +1,36 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"specmpk/internal/pipeline"
 	"specmpk/internal/server/api"
 )
+
+// runExecutionContained is the worker pool's panic boundary: any panic that
+// escapes runExecution — a simulation bug, a fault-injected panic in the
+// bookkeeping path — resolves the execution as a failed job carrying the
+// panic value and stack, and the worker goroutine survives to serve the
+// next job. The containment is what makes "a panicking simulation" a job
+// outcome instead of a daemon outage.
+func (s *Server) runExecutionContained(ex *execution) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+			if ex.finish(api.StateFailed, fmt.Sprintf("panic: %v\n%s", r, debug.Stack()), nil, 0, 0) {
+				s.jobsFailed.Add(1)
+			}
+			// Idempotent: releases the single-flight slot and retires the
+			// execution's jobs even when the panic struck after finish.
+			s.onExecutionDone(ex)
+		}
+	}()
+	s.runExecution(ex)
+}
 
 // runExecution is one worker's handling of one execution: simulate in
 // event-interval chunks, publish progress, resolve the terminal state, and
@@ -19,7 +42,7 @@ func (s *Server) runExecution(ex *execution) {
 	}
 	s.running.Add(1)
 	t0 := time.Now()
-	state, errMsg, result, cycle, insts := s.simulate(ex)
+	state, errMsg, result, cycle, insts := s.simulateContained(ex)
 	s.running.Add(-1)
 	if !ex.finish(state, errMsg, result, cycle, insts) {
 		return // lost the race with Cancel; it did the bookkeeping
@@ -28,6 +51,9 @@ func (s *Server) runExecution(ex *execution) {
 	switch state {
 	case api.StateDone:
 		s.jobsDone.Add(1)
+		// Only a clean, deterministic completion reaches the cache: failed
+		// (including deadline-exceeded and panicking) and cancelled runs
+		// never produce result bytes, so they can never poison it.
 		s.cache.put(ex.key, result)
 	case api.StateFailed:
 		s.jobsFailed.Add(1)
@@ -37,16 +63,39 @@ func (s *Server) runExecution(ex *execution) {
 	s.onExecutionDone(ex)
 }
 
-// simulate runs the job to completion, cancellation, or its cycle budget.
+// simulateContained runs the simulation itself under a recover, so a panic
+// inside the pipeline (or injected at server.worker.simulate) becomes a
+// failed-job outcome with the panic value and stack in the error.
+func (s *Server) simulateContained(ex *execution) (state, errMsg string, result []byte, cycle, insts uint64) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+			state = api.StateFailed
+			errMsg = fmt.Sprintf("panic: %v\n%s", r, debug.Stack())
+			result = nil
+		}
+	}()
+	return s.simulate(ex)
+}
+
+// simulate runs the job to completion, cancellation, or one of its budgets.
 // The machine runs in chunks of the event interval; each chunk boundary
 // publishes one progress event, so /v1/jobs/{id}/events streams at the same
 // cadence as specmpk-sim -stats-interval.
 //
-// A run that exhausts its cycle budget is DONE with stop reason
-// "cycle_limit", not failed: the budget is the job-timeout mechanism, and
-// the partial statistics are a legitimate (and cacheable — the budget is in
-// the key) result. "failed" is reserved for jobs that could not simulate at
-// all (bad config, unbuildable program).
+// Two budgets with opposite taxonomies bound every job:
+//
+//   - The cycle budget (spec or server default). Exhausting it is DONE with
+//     stop reason "cycle_limit": the budget is in the cache key and the
+//     partial statistics are deterministic, so they are a legitimate,
+//     cacheable result.
+//   - The wall-clock budget (spec MaxWallMS or server default). Exhausting
+//     it is FAILED with a "deadline:" error: how many cycles fit in a
+//     wall-clock window depends on the host, so the partial run is not
+//     deterministic and must never be cached.
+//
+// "failed" otherwise marks jobs that could not simulate at all (bad config,
+// unbuildable program, injected worker fault).
 func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, cycle, insts uint64) {
 	spec := ex.spec
 	cfg, err := spec.MachineConfig()
@@ -62,6 +111,25 @@ func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, c
 		return api.StateFailed, err.Error(), nil, 0, 0
 	}
 
+	// The wall-clock deadline wraps the execution's cancellation context so
+	// Cancel and drain still surface as "cancelled", while expiry surfaces
+	// as pipeline.StopDeadline. It is armed before the fault point so an
+	// injected latency burns real wall budget, exactly like a stuck run.
+	ctx := ex.ctx
+	wallMS := spec.MaxWallMS
+	if wallMS == 0 {
+		wallMS = s.opt.MaxWallMS
+	}
+	if wallMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ex.ctx, time.Duration(wallMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	if ferr := fpWorkerSimulate.Fire(); ferr != nil {
+		return api.StateFailed, ferr.Error(), nil, 0, 0
+	}
+
 	budget := spec.MaxCycles
 	if budget == 0 {
 		budget = s.opt.MaxCycles
@@ -72,7 +140,7 @@ func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, c
 		if next > budget {
 			next = budget
 		}
-		runErr := m.RunContext(ex.ctx, next)
+		runErr := m.RunContext(ctx, next)
 		st := m.Stats
 		switch {
 		case runErr == nil, st.Stop == pipeline.StopFault:
@@ -81,6 +149,11 @@ func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, c
 			return buildResult(ex, m)
 		case st.Stop == pipeline.StopCancelled:
 			return api.StateCancelled, runErr.Error(), nil, st.Cycles, st.Insts
+		case st.Stop == pipeline.StopDeadline:
+			s.jobsDeadline.Add(1)
+			return api.StateFailed,
+				fmt.Sprintf("deadline: wall-clock budget (%d ms) exceeded at cycle %d", wallMS, st.Cycles),
+				nil, st.Cycles, st.Insts
 		case st.Stop == pipeline.StopCycleLimit:
 			if m.Cycle() >= budget || m.Cycle() == prevCycle {
 				// Budget exhausted — or Config.MaxCycles clamped the run
@@ -108,6 +181,11 @@ func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, c
 // property the content-addressed cache returns verbatim.
 func buildResult(ex *execution, m *pipeline.Machine) (state, errMsg string, result []byte, cycle, insts uint64) {
 	st := m.Stats
+	// An injected marshal fault (error or drop alike) fails the job: a
+	// result that cannot be encoded cannot be partially delivered.
+	if ferr := fpResultMarshal.Fire(); ferr != nil {
+		return api.StateFailed, fmt.Sprintf("marshal result: %v", ferr), nil, st.Cycles, st.Insts
+	}
 	res := api.Result{
 		Key:        ex.key,
 		Version:    api.Version,

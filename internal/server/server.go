@@ -18,8 +18,25 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specmpk/internal/faults"
 	"specmpk/internal/server/api"
 	"specmpk/internal/stats"
+)
+
+// The service's fault points (see internal/faults). Each names one seam of
+// the request path; disarmed they cost one atomic load. The chaos suite
+// arms them to prove the hardening around each seam: admission faults
+// surface as retryable 503s, worker faults become failed jobs (never cached,
+// never fatal), cache faults degrade to misses/skipped fills, HTTP and
+// stream faults are absorbed by the client's retry layer.
+var (
+	fpQueueAdmit     = faults.Register("server.queue.admit")
+	fpWorkerSimulate = faults.Register("server.worker.simulate")
+	fpCacheGet       = faults.Register("server.cache.get")
+	fpCachePut       = faults.Register("server.cache.put")
+	fpResultMarshal  = faults.Register("server.result.marshal")
+	fpHTTPRequest    = faults.Register("server.http.request")
+	fpEventsStream   = faults.Register("server.events.stream")
 )
 
 // Options configures a Server.
@@ -38,6 +55,12 @@ type Options struct {
 	// MaxCycles is the default per-job cycle budget, the job-timeout
 	// backstop for specs that do not set their own (0 = 500,000,000).
 	MaxCycles uint64
+	// MaxWallMS is the default per-job wall-clock budget in milliseconds
+	// for specs that do not set their own (0 = unlimited). A job that
+	// exhausts it fails with a "deadline" error and is never cached: the
+	// cycles a wall-clock window buys are host-dependent, so a partial
+	// result would break the cache's determinism contract.
+	MaxWallMS uint64
 	// RetainJobs bounds how many finished job records stay queryable; the
 	// oldest are forgotten first (0 = 4096).
 	RetainJobs int
@@ -93,6 +116,8 @@ type Server struct {
 	deduped              atomic.Uint64
 	jobsDone, jobsFailed atomic.Uint64
 	jobsCancelled        atomic.Uint64
+	jobsDeadline         atomic.Uint64
+	panicsRecovered      atomic.Uint64
 	running              atomic.Int64
 	wallMSTotal          atomic.Uint64
 	reg                  *stats.Registry
@@ -140,6 +165,14 @@ func (s *Server) Submit(spec api.JobSpec) (api.JobInfo, error) {
 	key, err := norm.Key()
 	if err != nil {
 		return api.JobInfo{}, err
+	}
+
+	// Admission fault point, fired outside the lock so an injected latency
+	// stalls only this submit, not the whole server. An injected error or
+	// drop degrades to the same retryable 503 a full queue produces.
+	if ferr := fpQueueAdmit.Fire(); ferr != nil {
+		s.rejected.Add(1)
+		return api.JobInfo{}, ErrUnavailable{Reason: ferr.Error()}
 	}
 
 	s.mu.Lock()
@@ -271,7 +304,7 @@ func (s *Server) onExecutionDone(ex *execution) {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for ex := range s.queue {
-		s.runExecution(ex)
+		s.runExecutionContained(ex)
 	}
 }
 
@@ -324,6 +357,8 @@ func (s *Server) Registry() *stats.Registry {
 		r.Counter("server.jobs.done", "executions completed successfully", s.jobsDone.Load)
 		r.Counter("server.jobs.failed", "executions failed", s.jobsFailed.Load)
 		r.Counter("server.jobs.cancelled", "executions cancelled", s.jobsCancelled.Load)
+		r.Counter("server.jobs.deadline", "executions failed by their wall-clock deadline", s.jobsDeadline.Load)
+		r.Counter("server.panics_recovered", "worker/HTTP panics contained without killing the process", s.panicsRecovered.Load)
 		r.Counter("server.jobs.wall_ms_total", "total execution wall time (ms)", s.wallMSTotal.Load)
 		r.Counter("server.cache.hits", "result-cache hits", s.cache.hits.Load)
 		r.Counter("server.cache.misses", "result-cache misses", s.cache.misses.Load)
@@ -333,6 +368,11 @@ func (s *Server) Registry() *stats.Registry {
 		r.Gauge("server.queue.depth", "executions waiting for a worker", func() float64 { return float64(len(s.queue)) })
 		r.Gauge("server.queue.capacity", "bounded queue capacity", func() float64 { return float64(s.opt.QueueSize) })
 		r.Gauge("server.workers", "worker-pool size", func() float64 { return float64(s.opt.Workers) })
+		r.Counter("faults.fired", "fault-point activations (all actions)", faults.Fired)
+		r.Counter("faults.errors", "injected errors", faults.Errors)
+		r.Counter("faults.panics", "injected panics", faults.Panics)
+		r.Counter("faults.latency_injected", "injected latency events", faults.Latencies)
+		r.Counter("faults.drops", "injected drops", faults.Drops)
 		r.Formula("server.jobs.wall_avg_ms", "mean execution wall time (ms)",
 			func(get func(string) float64) float64 {
 				n := get("server.jobs.done") + get("server.jobs.failed") + get("server.jobs.cancelled")

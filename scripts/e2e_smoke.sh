@@ -5,16 +5,20 @@
 #   2. start the daemon on a loopback port
 #   3. run a small experiment through `specmpk-bench -remote` twice
 #   4. assert the second pass was answered from the result cache
-#   5. SIGTERM the daemon and require a clean drain
+#   5. SIGKILL the daemon while a client is mid-job, restart it, and require
+#      the client to recover by resubmitting its content-addressed spec
+#   6. SIGTERM the daemon and require a clean drain
 #
 # Exercises the full stack (client -> HTTP -> queue -> workers -> pipeline ->
-# cache) the way a user would, not the way a unit test would.
+# cache) the way a user would, not the way a unit test would — including the
+# way a user's daemon actually dies.
 set -eu
 
 ADDR=${SPECMPKD_ADDR:-127.0.0.1:8351}
 WORKLOAD=548.exchange2_r # smallest pipeline workload: keeps the smoke fast
 BIN=$(mktemp -d)
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+BENCHPID=
+trap 'kill "$PID" 2>/dev/null || true; kill "$BENCHPID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
 
 echo "== build"
 go build -o "$BIN/specmpkd" ./cmd/specmpkd
@@ -51,6 +55,25 @@ if [ "${HITS:-0}" -lt 1 ]; then
     exit 1
 fi
 
+echo "== SIGKILL mid-job: client must recover via resubmission"
+# A mode not simulated above, so the job cannot be a cache hit and must be
+# in flight (or still being submitted) when the daemon dies.
+"$BIN/specmpk-bench" -remote "$ADDR" -workloads "$WORKLOAD" -modes serialized stats &
+BENCHPID=$!
+sleep 0.3
+kill -KILL "$PID" 2>/dev/null || true
+sleep 0.2
+"$BIN/specmpkd" -addr "$ADDR" &
+PID=$!
+# The client retries the connection-refused window with backoff, then gets a
+# 404 for its pre-restart job id and resubmits the spec to the new daemon.
+if ! wait "$BENCHPID"; then
+    echo "FAIL: specmpk-bench did not recover from a daemon SIGKILL+restart" >&2
+    exit 1
+fi
+BENCHPID=
+curl -fsS "http://$ADDR/v1/healthz" >/dev/null
+
 echo "== SIGTERM drain"
 kill -TERM "$PID"
 for i in $(seq 1 50); do
@@ -63,4 +86,4 @@ if kill -0 "$PID" 2>/dev/null; then
 fi
 wait "$PID" || { echo "FAIL: specmpkd exited non-zero" >&2; exit 1; }
 
-echo "PASS: e2e smoke (cold run, cache hit, clean drain)"
+echo "PASS: e2e smoke (cold run, cache hit, SIGKILL recovery, clean drain)"
