@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet lint race race-core race-server chaos e2e-smoke bench fuzz-smoke profile-artifact check clean
+.PHONY: all build test vet lint race race-core race-server chaos e2e-smoke bench fuzz-smoke profile-artifact perf perf-diff check clean
 
 all: check
 
@@ -60,13 +60,31 @@ profile-artifact:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
+# Meta-benchmark: capture simulator + service throughput into
+# BENCH_$(PERF_LABEL).json (schema specmpk-bench/1). PERF_FLAGS defaults to a
+# time-boxed smoke sized for CI; override with PERF_FLAGS= for the full
+# default budgets when refreshing BENCH_baseline.json.
+PERF_LABEL ?= local
+PERF_THRESHOLD ?= 50
+PERF_FLAGS ?= -perf-budget 200000 -perf-jobs 8 -perf-job-cycles 50000
+perf:
+	$(GO) run ./cmd/specmpk-bench -label $(PERF_LABEL) $(PERF_FLAGS) perf
+
+# Diff the latest capture against the committed baseline; exits non-zero when
+# any metric regressed beyond PERF_THRESHOLD percent.
+perf-diff:
+	$(GO) run ./cmd/specmpk-bench -threshold $(PERF_THRESHOLD) \
+		perfdiff BENCH_baseline.json BENCH_$(PERF_LABEL).json
+
 # Short fuzz pass over the assembler's parser (the repo's untrusted-input
 # surface); CI runs it on every push.
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run=^$$ ./internal/asm
 
-# The tier-1 gate: what CI runs.
+# The tier-1 gate: what CI runs. The perf trajectory (make perf, make
+# perf-diff against BENCH_baseline.json) rides alongside without gating it.
 check: build lint race
+	@echo "check passed (perf trajectory: make perf && make perf-diff)"
 
 clean:
 	$(GO) clean ./...

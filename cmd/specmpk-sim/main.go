@@ -24,6 +24,8 @@
 //	                      attribution) and the pkey audit ledger as JSON
 //	-annotate             print the annotated disassembly and the top-PC /
 //	                      pkey-audit tables after the run
+//	-cpuprofile FILE      pprof CPU profile of the simulator process itself
+//	-memprofile FILE      pprof heap profile at exit (after a GC)
 //
 // All output paths are opened before the simulation starts, so a bad path
 // fails immediately instead of after minutes of simulated execution.
@@ -38,6 +40,7 @@ import (
 
 	"specmpk/internal/asm"
 	"specmpk/internal/isa"
+	"specmpk/internal/perf"
 	"specmpk/internal/pipeline"
 	"specmpk/internal/pipeview"
 	"specmpk/internal/profile"
@@ -71,6 +74,8 @@ func main() {
 		konataN       = flag.Uint64("konata-n", 10_000, "retired instructions captured for -konata-out")
 		profileOut    = flag.String("profile-out", "", "write the per-PC profile and pkey audit ledger as JSON to this file")
 		annotate      = flag.Bool("annotate", false, "print the annotated disassembly, top-PC table and pkey audit ledger after the run")
+		cpuprofile    = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to `file`")
+		memprofile    = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
 	flag.Parse()
 
@@ -107,6 +112,15 @@ func main() {
 	if out.trace != nil && *traceBuf <= 0 {
 		fatal(fmt.Errorf("-trace-buf must be positive (got %d)", *traceBuf))
 	}
+
+	// Profile the simulator process itself (self-profiling, distinct from the
+	// simulated-program -profile-out). Files open now, alongside the other
+	// outputs; both exit paths flush them.
+	stop, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
 
 	prog, err := buildProgram(*wl, *asmFile, *variant)
 	if err != nil {
@@ -265,6 +279,23 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+	flushProfiles()
+}
+
+// stopProfiles finalizes -cpuprofile/-memprofile capture. Set once profiling
+// starts; flushProfiles clears it after the first flush so the normal exit
+// path and fatal can both call it.
+var stopProfiles func() error
+
+func flushProfiles() {
+	if stopProfiles == nil {
+		return
+	}
+	stop := stopProfiles
+	stopProfiles = nil
+	if err := stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "specmpk-sim: profile: %v\n", err)
+	}
 }
 
 // intervalRow is one line of the -stats-interval JSONL stream.
@@ -379,6 +410,7 @@ func printStats(m *pipeline.Machine, cfg pipeline.Config) {
 }
 
 func fatal(err error) {
+	flushProfiles() // a partial CPU profile still beats a truncated file
 	fmt.Fprintf(os.Stderr, "specmpk-sim: %v\n", err)
 	os.Exit(1)
 }

@@ -8,7 +8,7 @@
 //
 //	specmpkd [-addr :8351] [-j N] [-queue 256] [-cache 512]
 //	         [-event-interval 1000000] [-max-cycles 500000000]
-//	         [-max-wall-ms 0] [-drain-timeout 2m] [-faults plan.json]
+//	         [-max-wall-ms 0] [-drain-timeout 2m] [-faults plan.json] [-pprof]
 //
 // API (see internal/server):
 //
@@ -17,7 +17,12 @@
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/metrics          Prometheus metrics (server.* namespace)
-//	GET    /v1/healthz          liveness
+//	GET    /v1/healthz          liveness + uptime/version/worker-pool JSON
+//
+// With -pprof the daemon additionally serves the standard net/http/pprof
+// endpoints under /debug/pprof/ (profile, heap, goroutine, trace, ...) for
+// live self-profiling. They expose internals — keep them off any instance a
+// stranger can reach.
 //
 // SIGTERM/SIGINT drain gracefully: new submits are rejected with 503 while
 // queued and running jobs finish, bounded by -drain-timeout; on expiry the
@@ -39,6 +44,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,6 +65,7 @@ func main() {
 		maxWall  = flag.Uint64("max-wall-ms", 0, "default per-job wall-clock budget in ms (0 = unlimited); exceeding it fails the job")
 		drain    = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for in-flight jobs")
 		faultsAt = flag.String("faults", "", "arm a fault-injection plan from this JSON file (staging/chaos drills only)")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (self-profiling; do not expose publicly)")
 	)
 	flag.Parse()
 
@@ -83,12 +90,28 @@ func main() {
 		MaxWallMS:     *maxWall,
 	})
 
+	// The job API is the default handler; -pprof mounts the standard profiling
+	// endpoints in front of it on an explicit mux (not DefaultServeMux, so
+	// nothing else can sneak routes onto the daemon).
+	var handler http.Handler = s
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		mux.Handle("/", s)
+		handler = mux
+		log.Printf("specmpkd: pprof self-profiling enabled at /debug/pprof/")
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("specmpkd: %v", err)
 	}
 	hs := &http.Server{
-		Handler: s,
+		Handler: handler,
 		// Bound the request-ingestion side so a slowloris peer cannot pin
 		// connections open forever (and hang graceful shutdown with them).
 		// WriteTimeout deliberately stays zero: /v1/jobs/{id}/events streams

@@ -1,0 +1,123 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(label string, metrics map[string]float64) *Bench {
+	return &Bench{
+		Meta: Meta{
+			Schema: Schema, Label: label, GitSHA: "cafebabe",
+			GoVersion: "go1.22", GOMAXPROCS: 8,
+		},
+		Metrics: metrics,
+	}
+}
+
+// TestCompareThresholdSemantics pins perfdiff's core contract: a metric
+// regresses only when it moves in its *worse* direction by strictly more
+// than the threshold, with direction inferred from the metric name.
+func TestCompareThresholdSemantics(t *testing.T) {
+	before := bench("base", map[string]float64{
+		"sim.cycles_per_sec.w.m":     1000, // higher is better
+		"sim.insts_per_sec.w.m":      500,  // higher is better
+		"sim.allocs_per_kcycle.w.m":  10,   // lower is better
+		"service.latency.e2e_p50_ms": 4,    // lower is better
+		"service.jobs_per_sec.cold":  50,   // higher is better
+	})
+	after := bench("head", map[string]float64{
+		"sim.cycles_per_sec.w.m":     800, // -20%: regression at threshold 10
+		"sim.insts_per_sec.w.m":      550, // +10%: improvement, never a regression
+		"sim.allocs_per_kcycle.w.m":  12,  // +20%: regression (lower is better)
+		"service.latency.e2e_p50_ms": 3,   // -25%: improvement (lower is better)
+		"service.jobs_per_sec.cold":  48,  // -4%: inside the threshold, fine
+	})
+
+	d := Compare(before, after, 10)
+	want := map[string]struct{ reg, imp bool }{
+		"sim.cycles_per_sec.w.m":     {true, false},
+		"sim.insts_per_sec.w.m":      {false, false}, // +10% not strictly > 10%
+		"sim.allocs_per_kcycle.w.m":  {true, false},
+		"service.latency.e2e_p50_ms": {false, true},
+		"service.jobs_per_sec.cold":  {false, false},
+	}
+	if len(d.Rows) != len(want) {
+		t.Fatalf("rows %d, want %d", len(d.Rows), len(want))
+	}
+	for _, r := range d.Rows {
+		w, ok := want[r.Metric]
+		if !ok {
+			t.Fatalf("unexpected row %q", r.Metric)
+		}
+		if r.Regression != w.reg || r.Improvement != w.imp {
+			t.Errorf("%s: regression=%v improvement=%v, want %v/%v (delta %+.1f%%)",
+				r.Metric, r.Regression, r.Improvement, w.reg, w.imp, r.DeltaPct)
+		}
+	}
+	if got := len(d.Regressions()); got != 2 {
+		t.Fatalf("Regressions() = %d, want 2", got)
+	}
+
+	// A generous threshold absorbs the same deltas — the CI noise guard.
+	if reg := Compare(before, after, 50).Regressions(); len(reg) != 0 {
+		t.Fatalf("threshold 50%% still flagged %d regressions", len(reg))
+	}
+}
+
+func TestCompareHandlesMissingAndZeroMetrics(t *testing.T) {
+	before := bench("base", map[string]float64{
+		"sim.cycles_per_sec.gone.m": 100,
+		"sim.cycles_per_sec.zero.m": 0, // incomparable: no relative delta
+		"shared":                    1,
+	})
+	after := bench("head", map[string]float64{
+		"sim.cycles_per_sec.zero.m": 42,
+		"sim.cycles_per_sec.new.m":  7,
+		"shared":                    1,
+	})
+	d := Compare(before, after, 10)
+	if len(d.MissingInNew) != 1 || d.MissingInNew[0] != "sim.cycles_per_sec.gone.m" {
+		t.Fatalf("MissingInNew %v", d.MissingInNew)
+	}
+	if len(d.MissingInOld) != 1 || d.MissingInOld[0] != "sim.cycles_per_sec.new.m" {
+		t.Fatalf("MissingInOld %v", d.MissingInOld)
+	}
+	if len(d.Regressions()) != 0 {
+		t.Fatalf("zero/missing metrics must not regress: %v", d.Regressions())
+	}
+}
+
+func TestRenderMarksRegressionsAndVerdict(t *testing.T) {
+	before := bench("base", map[string]float64{"sim.cycles_per_sec.w.m": 1000})
+	after := bench("head", map[string]float64{"sim.cycles_per_sec.w.m": 500})
+	var sb strings.Builder
+	Compare(before, after, 10).Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"REGRESSED", "FAIL: 1 metric(s) regressed", "-50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	var ok strings.Builder
+	Compare(before, before, 10).Render(&ok)
+	if !strings.Contains(ok.String(), "OK: no metric regressed") {
+		t.Fatalf("clean diff verdict missing:\n%s", ok.String())
+	}
+}
+
+func TestLowerIsBetterClassification(t *testing.T) {
+	cases := map[string]bool{
+		"sim.cycles_per_sec.a.b":     false,
+		"sim.insts_per_sec.a.b":      false,
+		"service.jobs_per_sec.cold":  false,
+		"sim.allocs_per_kcycle.a.b":  true,
+		"service.latency.e2e_p50_ms": true,
+		"service.latency.sim_p99_ms": true,
+	}
+	for name, want := range cases {
+		if got := LowerIsBetter(name); got != want {
+			t.Errorf("LowerIsBetter(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

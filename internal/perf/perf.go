@@ -1,0 +1,380 @@
+// Package perf is the repository's meta-benchmark: it measures how fast the
+// simulator simulates (not how fast the simulated machine is) and how much
+// the service layer costs on top, and emits the result as a schema-versioned
+// BENCH_<label>.json so every optimization PR can prove its speedup — and
+// every other PR can prove it didn't regress — against a committed baseline.
+//
+// Three measurement sections feed one flat metric map:
+//
+//   - Simulator throughput: wall-clock sim cycles/sec and committed
+//     insts/sec per workload×policy, across every registered security
+//     policy, each point time-boxed by a cycle budget.
+//   - Allocation pressure: allocs per thousand simulated cycles
+//     (runtime.ReadMemStats deltas around each sim point) — the metric the
+//     ROADMAP's kill-per-cycle-allocations work moves.
+//   - Service throughput: jobs/sec through a live in-process specmpkd
+//     worker pool, cold (every spec distinct, full simulation) and cache-hit
+//     (identical resubmission answered from the content-addressed cache),
+//     plus latency-histogram quantiles from the server registry.
+//
+// The flat map keys make Diff trivial: compare metric-by-metric, flag
+// regressions beyond a threshold (perfdiff in cmd/specmpk-bench).
+package perf
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"specmpk/internal/pipeline"
+	"specmpk/internal/server"
+	"specmpk/internal/server/api"
+	"specmpk/internal/workload"
+)
+
+// Schema versions the BENCH file layout. Bump on any change that would make
+// an old file's metrics incomparable to a new one's.
+const Schema = "specmpk-bench/1"
+
+// Meta records the provenance of one capture: enough to judge whether two
+// BENCH files are comparable (same schema, same simulator semantics) and to
+// explain a delta that isn't code (different host parallelism, Go version).
+type Meta struct {
+	Schema     string `json:"schema"`
+	Label      string `json:"label"`
+	CapturedAt string `json:"capturedAt"` // RFC3339 UTC
+	GitSHA     string `json:"gitSHA"`
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// SimVersion is api.Version: results under different simulator semantics
+	// may legitimately differ in throughput.
+	SimVersion string `json:"simVersion"`
+	// CycleBudget/ServiceJobs echo the capture's knobs; comparing captures
+	// taken with different knobs is comparing different experiments.
+	CycleBudget uint64 `json:"cycleBudget"`
+	ServiceJobs int    `json:"serviceJobs"`
+}
+
+// Bench is one capture: provenance plus a flat metric map.
+//
+// Metric naming convention (the diff direction rules key off it):
+//
+//	sim.cycles_per_sec.<workload>.<policy>   higher is better
+//	sim.insts_per_sec.<workload>.<policy>    higher is better
+//	sim.allocs_per_kcycle.<workload>.<policy> lower is better
+//	service.jobs_per_sec.{cold,cache_hit}    higher is better
+//	service.latency.*_ms                     lower is better
+type Bench struct {
+	Meta    Meta               `json:"meta"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Options configures a capture. The zero value measures a representative
+// workload trio across every registered policy with time-boxed budgets — the
+// CI smoke configuration.
+type Options struct {
+	// Label names the capture (file naming, diff headers). "" = "local".
+	Label string
+	// Workloads restricts the simulator section (nil = a representative
+	// trio: WRPKRU-dense, memory-bound, compute-light).
+	Workloads []string
+	// Modes restricts the policy sweep (nil = every registered policy).
+	Modes []pipeline.Mode
+	// CycleBudget bounds each sim point in simulated cycles (0 = 2,000,000).
+	// Throughput is measured over however many cycles actually ran, so a
+	// workload halting early still yields a valid point.
+	CycleBudget uint64
+	// ServiceJobs is the number of distinct jobs in the service section
+	// (0 = 32). Each runs ServiceJobCycles; then the same specs are
+	// resubmitted to measure the cache-hit path.
+	ServiceJobs int
+	// ServiceJobCycles bounds each service job (0 = 100,000).
+	ServiceJobCycles uint64
+	// Workers sizes the service worker pool (0 = GOMAXPROCS).
+	Workers int
+	// GitSHA overrides provenance detection (tests; build environments
+	// without VCS stamping).
+	GitSHA string
+	// Now overrides the clock used for the CapturedAt stamp (tests).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Label == "" {
+		o.Label = "local"
+	}
+	if len(o.Workloads) == 0 {
+		// Dense WRPKRU traffic, memory-bound, and compute-light: the three
+		// regimes whose hot paths differ most inside the cycle loop.
+		o.Workloads = []string{"520.omnetpp_r", "505.mcf_r", "548.exchange2_r"}
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = pipeline.RegisteredModes()
+	}
+	if o.CycleBudget == 0 {
+		o.CycleBudget = 2_000_000
+	}
+	if o.ServiceJobs <= 0 {
+		o.ServiceJobs = 32
+	}
+	if o.ServiceJobCycles == 0 {
+		o.ServiceJobCycles = 100_000
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.GitSHA == "" {
+		o.GitSHA = gitSHA()
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Run executes a full capture: the simulator section sequentially (wall
+// times and ReadMemStats deltas must not overlap), then the service section
+// on a live worker pool.
+func Run(opts Options) (*Bench, error) {
+	opts = opts.withDefaults()
+	b := &Bench{
+		Meta: Meta{
+			Schema:      Schema,
+			Label:       opts.Label,
+			CapturedAt:  opts.Now().UTC().Format(time.RFC3339),
+			GitSHA:      opts.GitSHA,
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			SimVersion:  api.Version,
+			CycleBudget: opts.CycleBudget,
+			ServiceJobs: opts.ServiceJobs,
+		},
+		Metrics: make(map[string]float64),
+	}
+	if err := runSimSection(opts, b); err != nil {
+		return nil, err
+	}
+	if err := runServiceSection(opts, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// runSimSection measures one point per workload×policy: simulated cycles and
+// committed instructions per wall second, and allocations per kilo-cycle.
+// Points run sequentially so wall time and the global allocation counters
+// measure one machine at a time.
+func runSimSection(opts Options, b *Bench) error {
+	for _, name := range opts.Workloads {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return fmt.Errorf("perf: unknown workload %q", name)
+		}
+		prog, err := p.Build(workload.VariantFull)
+		if err != nil {
+			return fmt.Errorf("perf: build %s: %w", name, err)
+		}
+		for _, mode := range opts.Modes {
+			cfg := pipeline.DefaultConfig()
+			cfg.Mode = mode
+			m, err := pipeline.New(cfg, prog)
+			if err != nil {
+				return fmt.Errorf("perf: %s/%v: %w", name, mode, err)
+			}
+			runtime.GC() // a clean slate so the Mallocs delta is the sim's own
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			runErr := m.Run(opts.CycleBudget)
+			elapsed := time.Since(t0)
+			runtime.ReadMemStats(&after)
+			if runErr != nil && runErr != pipeline.ErrCycleLimit {
+				return fmt.Errorf("perf: %s/%v: %w", name, mode, runErr)
+			}
+			cycles, insts := m.Stats.Cycles, m.Stats.Insts
+			if cycles == 0 || elapsed <= 0 {
+				return fmt.Errorf("perf: %s/%v: empty run (cycles=%d elapsed=%v)", name, mode, cycles, elapsed)
+			}
+			sec := elapsed.Seconds()
+			point := name + "." + mode.String()
+			b.Metrics["sim.cycles_per_sec."+point] = float64(cycles) / sec
+			b.Metrics["sim.insts_per_sec."+point] = float64(insts) / sec
+			b.Metrics["sim.allocs_per_kcycle."+point] =
+				float64(after.Mallocs-before.Mallocs) / float64(cycles) * 1000
+		}
+	}
+	return nil
+}
+
+// serviceWorkload keeps service jobs cheap: the lightest pipeline workload,
+// further bounded by ServiceJobCycles.
+const serviceWorkload = "548.exchange2_r"
+
+// runServiceSection measures jobs/sec through a live in-process server: a
+// cold pass of distinct specs (distinct seeds — no dedup, no cache), then an
+// identical pass answered entirely by the content-addressed cache. The
+// server's own latency histograms contribute quantile metrics.
+func runServiceSection(opts Options, b *Bench) error {
+	srv := server.New(server.Options{
+		Workers:   opts.Workers,
+		QueueSize: opts.ServiceJobs * 2,
+		// One progress event per job at most: events are service overhead,
+		// but a per-interval flood would measure the event path, not the
+		// job path.
+		EventInterval: opts.ServiceJobCycles,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	specs := make([]api.JobSpec, opts.ServiceJobs)
+	for i := range specs {
+		specs[i] = api.JobSpec{
+			Workload:  serviceWorkload,
+			Seed:      int64(i + 1), // distinct seeds: distinct cache keys
+			MaxCycles: opts.ServiceJobCycles,
+		}
+	}
+
+	cold, err := runServicePass(srv, specs, false)
+	if err != nil {
+		return fmt.Errorf("perf: service cold pass: %w", err)
+	}
+	hit, err := runServicePass(srv, specs, true)
+	if err != nil {
+		return fmt.Errorf("perf: service cache-hit pass: %w", err)
+	}
+	n := float64(opts.ServiceJobs)
+	b.Metrics["service.jobs_per_sec.cold"] = n / cold.Seconds()
+	b.Metrics["service.jobs_per_sec.cache_hit"] = n / hit.Seconds()
+
+	snap := srv.Registry().Snapshot()
+	for _, q := range []struct {
+		metric, hist string
+		quantile     float64
+	}{
+		{"service.latency.e2e_p50_ms", "server.latency.e2e_ms", 0.50},
+		{"service.latency.e2e_p99_ms", "server.latency.e2e_ms", 0.99},
+		{"service.latency.simulate_p50_ms", "server.latency.simulate_ms", 0.50},
+		{"service.latency.queue_wait_p50_ms", "server.latency.queue_wait_ms", 0.50},
+	} {
+		if v, ok := snap.Get(q.hist); ok && v.Hist != nil && v.Hist.Count > 0 {
+			b.Metrics[q.metric] = v.Hist.Quantile(q.quantile)
+		}
+	}
+	return nil
+}
+
+// runServicePass submits every spec and waits for all of them, returning the
+// wall time of the whole pass. wantCached asserts the pass's expected path.
+func runServicePass(srv *server.Server, specs []api.JobSpec, wantCached bool) (time.Duration, error) {
+	t0 := time.Now()
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		info, err := srv.Submit(spec)
+		if err != nil {
+			return 0, err
+		}
+		if wantCached && !info.Cached {
+			return 0, fmt.Errorf("job %s missed the cache on the resubmission pass", info.ID)
+		}
+		ids[i] = info.ID
+	}
+	for _, id := range ids {
+		ch, cancel, ok := srv.Subscribe(id)
+		if !ok {
+			return 0, fmt.Errorf("job %s vanished", id)
+		}
+		for range ch { // drains until the execution closes the stream
+		}
+		cancel()
+		info, _ := srv.Job(id)
+		if info.State != api.StateDone {
+			return 0, fmt.Errorf("job %s finished %s: %s", id, info.State, info.Error)
+		}
+	}
+	return time.Since(t0), nil
+}
+
+// gitSHA resolves the capture's revision from the binary's embedded VCS
+// stamp (go build in a git checkout), falling back to the SPECMPK_GIT_SHA
+// environment variable (CI; go test binaries carry no stamp), else
+// "unknown".
+func gitSHA() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	if sha := os.Getenv("SPECMPK_GIT_SHA"); sha != "" {
+		return sha
+	}
+	return "unknown"
+}
+
+// FileName is the canonical on-disk name for a label: BENCH_<label>.json.
+func FileName(label string) string { return "BENCH_" + label + ".json" }
+
+// Write emits the capture as indented JSON. Map keys sort, so the output is
+// deterministic for a given capture and diffs cleanly in git.
+func (b *Bench) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteFile writes the capture to path.
+func (b *Bench) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads and validates a BENCH file.
+func Load(path string) (*Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if b.Meta.Schema != Schema {
+		return nil, fmt.Errorf("perf: %s: schema %q, want %q", path, b.Meta.Schema, Schema)
+	}
+	if b.Metrics == nil {
+		return nil, fmt.Errorf("perf: %s: no metrics", path)
+	}
+	return &b, nil
+}
+
+// MetricNames returns the capture's metric names, sorted.
+func (b *Bench) MetricNames() []string {
+	names := make([]string, 0, len(b.Metrics))
+	for k := range b.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

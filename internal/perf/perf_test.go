@@ -1,0 +1,114 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"specmpk/internal/pipeline"
+)
+
+// smallOpts keeps a test capture in the hundreds of milliseconds: one
+// workload, tiny budgets, a handful of service jobs.
+func smallOpts() Options {
+	return Options{
+		Label:            "test",
+		Workloads:        []string{"548.exchange2_r"},
+		CycleBudget:      50_000,
+		ServiceJobs:      4,
+		ServiceJobCycles: 20_000,
+		Workers:          2,
+		GitSHA:           "deadbeef",
+		Now:              func() time.Time { return time.Unix(1700000000, 0) },
+	}
+}
+
+func TestRunEmitsAllPoliciesAndServiceMetrics(t *testing.T) {
+	b, err := Run(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Meta is fully populated and schema-versioned.
+	m := b.Meta
+	if m.Schema != Schema || m.Label != "test" || m.GitSHA != "deadbeef" {
+		t.Fatalf("meta %+v", m)
+	}
+	if m.GoVersion == "" || m.GOMAXPROCS <= 0 || m.SimVersion == "" {
+		t.Fatalf("environment meta %+v", m)
+	}
+	if m.CapturedAt != "2023-11-14T22:13:20Z" {
+		t.Fatalf("capturedAt %q not the injected clock", m.CapturedAt)
+	}
+
+	// One sim point per registered policy — all five (or however many are
+	// registered) appear, each with the three sim metrics, all positive.
+	for _, mode := range pipeline.RegisteredModes() {
+		point := "548.exchange2_r." + mode.String()
+		for _, metric := range []string{"sim.cycles_per_sec.", "sim.insts_per_sec."} {
+			v, ok := b.Metrics[metric+point]
+			if !ok || v <= 0 {
+				t.Errorf("%s%s = %g (present %v), want > 0", metric, point, v, ok)
+			}
+		}
+		if _, ok := b.Metrics["sim.allocs_per_kcycle."+point]; !ok {
+			t.Errorf("sim.allocs_per_kcycle.%s missing", point)
+		}
+	}
+
+	// Service throughput, both paths.
+	for _, metric := range []string{"service.jobs_per_sec.cold", "service.jobs_per_sec.cache_hit"} {
+		v, ok := b.Metrics[metric]
+		if !ok || v <= 0 {
+			t.Errorf("%s = %g (present %v), want > 0", metric, v, ok)
+		}
+	}
+	// The cache-hit pass must beat the cold pass: it answers from memory.
+	if b.Metrics["service.jobs_per_sec.cache_hit"] <= b.Metrics["service.jobs_per_sec.cold"] {
+		t.Errorf("cache_hit %.1f jobs/sec not faster than cold %.1f",
+			b.Metrics["service.jobs_per_sec.cache_hit"], b.Metrics["service.jobs_per_sec.cold"])
+	}
+	// The latency quantiles rode along from the server registry.
+	if _, ok := b.Metrics["service.latency.e2e_p50_ms"]; !ok {
+		t.Error("service.latency.e2e_p50_ms missing")
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	b, err := Run(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), FileName("test"))
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != b.Meta {
+		t.Fatalf("meta round trip: %+v != %+v", got.Meta, b.Meta)
+	}
+	if len(got.Metrics) != len(b.Metrics) {
+		t.Fatalf("metric count %d != %d", len(got.Metrics), len(b.Metrics))
+	}
+	for k, v := range b.Metrics {
+		if got.Metrics[k] != v {
+			t.Fatalf("metric %s: %g != %g", k, got.Metrics[k], v)
+		}
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	b := &Bench{Meta: Meta{Schema: "specmpk-bench/999"}, Metrics: map[string]float64{"x": 1}}
+	path := filepath.Join(dir, "bad.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("Load accepted wrong schema (err %v)", err)
+	}
+}

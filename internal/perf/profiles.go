@@ -1,0 +1,71 @@
+package perf
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles arms the -cpuprofile/-memprofile capture shared by
+// specmpk-sim and specmpk-bench. Both output files are created up front —
+// matching the CLIs' fail-on-bad-path-before-simulating contract — and the
+// returned stop function finalizes them: it stops the CPU profile and writes
+// the heap profile (after a GC, so live objects dominate, not garbage).
+// Either path may be empty; with both empty the stop function is a no-op.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF, memF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	if memPath != "" {
+		memF, err = os.Create(memPath)
+		if err != nil {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return func() error {
+		var errs []error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			errs = append(errs, cpuF.Close())
+		}
+		if memF != nil {
+			runtime.GC()
+			errs = append(errs, pprof.WriteHeapProfile(memF), memF.Close())
+		}
+		return errors.Join(errs...)
+	}, nil
+}
+
+// Render prints the capture as an aligned text summary: provenance first,
+// then every metric, sorted — what `specmpk-bench perf` shows next to the
+// BENCH file it writes.
+func (b *Bench) Render(w io.Writer) {
+	m := b.Meta
+	fmt.Fprintf(w, "perf capture %q  %s  %s  %s/%s  GOMAXPROCS=%d  sha=%s\n",
+		m.Label, m.CapturedAt, m.GoVersion, m.GOOS, m.GOARCH, m.GOMAXPROCS, short(m.GitSHA))
+	names := b.MetricNames()
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for _, n := range names {
+		fmt.Fprintf(w, "%-*s %16.4g\n", nameW, n, b.Metrics[n])
+	}
+}

@@ -215,6 +215,14 @@ type JobInfo struct {
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
 	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
 
+	// QueueWaitMS is how long the job's execution waited for a worker
+	// (milliseconds), present once the job has started. Deduped jobs report
+	// their primary execution's wait.
+	QueueWaitMS float64 `json:"queueWaitMS,omitempty"`
+	// WallMS is the execution's wall-clock run time (milliseconds), present
+	// once the job has finished. Cache-hit jobs never ran, so they omit it.
+	WallMS float64 `json:"wallMS,omitempty"`
+
 	// Result is the canonical result JSON (a Result), present once State is
 	// "done". It is byte-identical across identical submissions.
 	Result json.RawMessage `json:"result,omitempty"`
@@ -232,6 +240,21 @@ type Result struct {
 	// Metrics is the machine's full unified stats-registry snapshot
 	// (stats.Snapshot.Flat).
 	Metrics map[string]any `json:"metrics"`
+}
+
+// Healthz is the /v1/healthz diagnostic payload: enough to tell which
+// daemon answered (simulator version decides cache-key compatibility), how
+// long it has been up, and how it is provisioned.
+type Healthz struct {
+	Status string `json:"status"` // "ok" while serving
+	// Version is the simulator/cache-key version (api.Version): two daemons
+	// with equal Version produce interchangeable cached results.
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	// Workers is the worker-pool size.
+	Workers   int       `json:"workers"`
+	UptimeMS  int64     `json:"uptimeMS"`
+	StartedAt time.Time `json:"startedAt"`
 }
 
 // Event is one line of a job's progress stream: an interval snapshot (the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,6 +24,12 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the exponential growth (0 = 5s).
 	MaxDelay time.Duration
+	// Jitter supplies the randomness spreading delays inside their window;
+	// each call returns a value in [0, 1). nil = a deterministic default:
+	// a fixed base seed decorrelated per backoff instance, so concurrent
+	// clients in one process still spread out but a test run's delay
+	// sequence is reproducible. Calls are serialized by the backoff's lock.
+	Jitter func() float64
 }
 
 func (p RetryPolicy) attempts() int {
@@ -53,15 +60,28 @@ type backoff struct {
 	policy RetryPolicy
 
 	mu      sync.Mutex
-	rng     *rand.Rand
+	jitter  func() float64
 	attempt int
 }
 
+// backoffSeq numbers backoff instances process-wide; the default jitter
+// stream is seeded from it, never from the clock.
+var backoffSeq atomic.Uint64
+
+// defaultJitter is the deterministic jitter stream for the nth backoff
+// instance in this process: a fixed base seed decorrelated by n (golden-ratio
+// multiplier), so instance n's delay sequence is identical run to run while
+// concurrent instances still desynchronize from each other.
+func defaultJitter(n uint64) func() float64 {
+	return rand.New(rand.NewSource(int64(n * 0x9E3779B97F4A7C15))).Float64
+}
+
 func newBackoff(p RetryPolicy) *backoff {
-	return &backoff{
-		policy: p,
-		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	jitter := p.Jitter
+	if jitter == nil {
+		jitter = defaultJitter(backoffSeq.Add(1))
 	}
+	return &backoff{policy: p, jitter: jitter}
 }
 
 // next returns the coming delay and advances the attempt counter.
@@ -76,8 +96,8 @@ func (b *backoff) next() time.Duration {
 		d = b.policy.max()
 	}
 	b.attempt++
-	// Jitter to [d/2, d).
-	return d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+	// Jitter to [d/2, d].
+	return d/2 + time.Duration(b.jitter()*float64(d/2+1))
 }
 
 // reset restarts the schedule — call after forward progress so one slow

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"runtime/debug"
+	"time"
 
 	"specmpk/internal/faults"
 	"specmpk/internal/server/api"
@@ -19,7 +21,7 @@ import (
 //	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: via ctx)
 //	GET    /v1/jobs/{id}/events NDJSON progress stream (replay + live)
 //	GET    /v1/metrics          Prometheus text exposition of server.* metrics
-//	GET    /v1/healthz          liveness probe
+//	GET    /v1/healthz          liveness + diagnostics (uptime, version, pool size)
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handlerOnce.Do(func() {
 		mux := http.NewServeMux()
@@ -171,7 +173,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = s.Registry().Snapshot().WritePrometheus(w)
 }
 
+// handleHealthz answers the liveness probe with a diagnostic payload:
+// uptime, the simulator version (which decides cache-key compatibility
+// across daemons), and the worker-pool size.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = w.Write([]byte("ok\n"))
+	writeJSON(w, http.StatusOK, api.Healthz{
+		Status:    "ok",
+		Version:   api.Version,
+		GoVersion: runtime.Version(),
+		Workers:   s.opt.Workers,
+		UptimeMS:  time.Since(s.started).Milliseconds(),
+		StartedAt: s.started,
+	})
 }

@@ -19,6 +19,11 @@ type execution struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// queuedAt is when the execution entered the queue (construction time);
+	// immutable, so readable without the mutex. started - queuedAt is the
+	// queue wait the server.latency.queue_wait_ms histogram observes.
+	queuedAt time.Time
+
 	mu       sync.Mutex
 	state    string
 	errMsg   string
@@ -43,13 +48,14 @@ const maxBufferedEvents = 1024
 func newExecution(parent context.Context, key string, spec api.JobSpec) *execution {
 	ctx, cancel := context.WithCancel(parent)
 	return &execution{
-		key:    key,
-		spec:   spec,
-		ctx:    ctx,
-		cancel: cancel,
-		state:  api.StateQueued,
-		subs:   make(map[chan api.Event]struct{}),
-		done:   make(chan struct{}),
+		key:      key,
+		spec:     spec,
+		ctx:      ctx,
+		cancel:   cancel,
+		queuedAt: time.Now(),
+		state:    api.StateQueued,
+		subs:     make(map[chan api.Event]struct{}),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -189,9 +195,13 @@ func (j *job) info() api.JobInfo {
 	}
 	if !started.IsZero() {
 		inf.StartedAt = &started
+		inf.QueueWaitMS = ms(started.Sub(j.exec.queuedAt))
 	}
 	if !finished.IsZero() {
 		inf.FinishedAt = &finished
+		if !started.IsZero() {
+			inf.WallMS = ms(finished.Sub(started))
+		}
 	}
 	return inf
 }

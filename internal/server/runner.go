@@ -42,8 +42,10 @@ func (s *Server) runExecution(ex *execution) {
 	}
 	s.running.Add(1)
 	t0 := time.Now()
+	s.lat.queueWait.Observe(ms(t0.Sub(ex.queuedAt)))
 	state, errMsg, result, cycle, insts := s.simulateContained(ex)
 	s.running.Add(-1)
+	s.lat.simulate.Observe(ms(time.Since(t0)))
 	if !ex.finish(state, errMsg, result, cycle, insts) {
 		return // lost the race with Cancel; it did the bookkeeping
 	}

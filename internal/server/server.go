@@ -91,12 +91,52 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// latencyBoundsMS are the bucket upper bounds (milliseconds) shared by every
+// job-lifecycle latency histogram: sub-millisecond resolution for the cache
+// and queue fast paths, minutes of range for full simulations.
+var latencyBoundsMS = []float64{
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50,
+	100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000, 60_000, 300_000,
+}
+
+// latencies are the server's job-lifecycle histograms ("server.latency.*"):
+// where a job's wall-clock time goes between submit and final state. All are
+// SyncHistograms — workers observe while /v1/metrics snapshots concurrently.
+type latencies struct {
+	// queueWait: execution enqueued -> picked up by a worker.
+	queueWait *stats.SyncHistogram
+	// dedupWait: a deduped job's submit -> its primary execution finishing
+	// (how long single-flight coalescing made the attached job wait).
+	dedupWait *stats.SyncHistogram
+	// simulate: wall time of the simulation itself on the worker.
+	simulate *stats.SyncHistogram
+	// cacheLookup: the content-addressed cache probe on the submit path.
+	cacheLookup *stats.SyncHistogram
+	// e2e: submit -> terminal state, for every job (cache hits included).
+	e2e *stats.SyncHistogram
+}
+
+func newLatencies() latencies {
+	return latencies{
+		queueWait:   stats.NewSyncHistogram(latencyBoundsMS),
+		dedupWait:   stats.NewSyncHistogram(latencyBoundsMS),
+		simulate:    stats.NewSyncHistogram(latencyBoundsMS),
+		cacheLookup: stats.NewSyncHistogram(latencyBoundsMS),
+		e2e:         stats.NewSyncHistogram(latencyBoundsMS),
+	}
+}
+
+// ms converts a duration to float64 milliseconds for the latency histograms.
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
 // Server is the simulation service. It is safe for concurrent use; create
 // with New and serve its Handler (or mount it — Server implements
 // http.Handler).
 type Server struct {
-	opt   Options
-	cache *resultCache
+	opt     Options
+	cache   *resultCache
+	started time.Time
+	lat     latencies
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -133,6 +173,8 @@ func New(opt Options) *Server {
 	s := &Server{
 		opt:        opt,
 		cache:      newResultCache(opt.CacheEntries),
+		started:    time.Now(),
+		lat:        newLatencies(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *execution, opt.QueueSize),
@@ -189,11 +231,15 @@ func (s *Server) Submit(spec api.JobSpec) (api.JobInfo, error) {
 		submitted: time.Now(),
 	}
 
-	if b, ok := s.cache.get(key); ok {
+	lookupStart := time.Now()
+	b, hit := s.cache.get(key)
+	s.lat.cacheLookup.Observe(ms(time.Since(lookupStart)))
+	if hit {
 		j.cached = true
 		j.exec = resolvedExecution(key, norm, b)
 		s.registerLocked(j)
 		s.retireLocked(j.id)
+		s.lat.e2e.Observe(ms(time.Since(j.submitted)))
 		return j.info(), nil
 	}
 	if ex, ok := s.inflight[key]; ok {
@@ -296,6 +342,13 @@ func (s *Server) onExecutionDone(ex *execution) {
 			}
 			if !alreadyRetired {
 				s.retireLocked(id)
+				// One observation per job, guarded by the retire check (the
+				// panic path can reach here twice for one execution).
+				wait := time.Since(j.submitted)
+				s.lat.e2e.Observe(ms(wait))
+				if j.deduped {
+					s.lat.dedupWait.Observe(ms(wait))
+				}
 			}
 		}
 	}
@@ -368,6 +421,11 @@ func (s *Server) Registry() *stats.Registry {
 		r.Gauge("server.queue.depth", "executions waiting for a worker", func() float64 { return float64(len(s.queue)) })
 		r.Gauge("server.queue.capacity", "bounded queue capacity", func() float64 { return float64(s.opt.QueueSize) })
 		r.Gauge("server.workers", "worker-pool size", func() float64 { return float64(s.opt.Workers) })
+		r.AttachSyncHistogram("server.latency.queue_wait_ms", "queued -> picked up by a worker (ms)", s.lat.queueWait)
+		r.AttachSyncHistogram("server.latency.dedup_wait_ms", "deduped job submit -> primary execution finished (ms)", s.lat.dedupWait)
+		r.AttachSyncHistogram("server.latency.simulate_ms", "simulation wall time on the worker (ms)", s.lat.simulate)
+		r.AttachSyncHistogram("server.latency.cache_lookup_ms", "content-addressed cache probe on submit (ms)", s.lat.cacheLookup)
+		r.AttachSyncHistogram("server.latency.e2e_ms", "submit -> terminal state, cache hits included (ms)", s.lat.e2e)
 		r.Counter("faults.fired", "fault-point activations (all actions)", faults.Fired)
 		r.Counter("faults.errors", "injected errors", faults.Errors)
 		r.Counter("faults.panics", "injected panics", faults.Panics)

@@ -478,6 +478,48 @@ func TestHTTPEndToEnd(t *testing.T) {
 		}
 	}
 
+	// The job-lifecycle latency histograms are registered and populated: one
+	// simulated execution, two submits probing the cache, two end-to-end
+	// jobs (the run plus its cache hit).
+	for _, want := range []string{
+		"# TYPE server_latency_e2e_ms histogram",
+		"server_latency_queue_wait_ms_count 1",
+		"server_latency_simulate_ms_count 1",
+		"server_latency_cache_lookup_ms_count 2",
+		"server_latency_e2e_ms_count 2",
+		`server_latency_e2e_ms_bucket{le="+Inf"} 2`,
+		"server_latency_dedup_wait_ms_count 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("latency metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// The finished job surfaces its lifecycle timestamps and latencies.
+	if final.StartedAt == nil || final.FinishedAt == nil {
+		t.Fatalf("done job missing timestamps: %+v", final)
+	}
+	if final.FinishedAt.Before(*final.StartedAt) || final.WallMS < 0 || final.QueueWaitMS < 0 {
+		t.Fatalf("inconsistent lifecycle latencies: %+v", final)
+	}
+
+	// Healthz reports daemon diagnostics as JSON.
+	hr, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var hz api.Healthz
+	if err := json.NewDecoder(hr.Body).Decode(&hz); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if hz.Status != "ok" || hz.Version != api.Version || hz.Workers != 2 {
+		t.Fatalf("healthz payload %+v", hz)
+	}
+	if hz.UptimeMS < 0 || hz.StartedAt.IsZero() {
+		t.Fatalf("healthz uptime fields %+v", hz)
+	}
+
 	// Unknown jobs 404; malformed specs 400.
 	nf, _ := http.Get(ts.URL + "/v1/jobs/nope")
 	if nf.StatusCode != http.StatusNotFound {

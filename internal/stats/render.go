@@ -40,6 +40,13 @@ func (s *Snapshot) WriteText(w io.Writer) {
 		fmt.Fprintln(w)
 		if v.Kind == KindHistogram && v.Hist.Count > 0 {
 			fmt.Fprintf(w, "%-*s %16s  # histogram mean\n", nameW, v.Name+".mean", formatFloat(v.Hist.Mean()))
+			for _, q := range []struct {
+				suffix string
+				q      float64
+			}{{".p50", 0.50}, {".p90", 0.90}, {".p99", 0.99}} {
+				fmt.Fprintf(w, "%-*s %16s  # histogram quantile (bucket-interpolated)\n",
+					nameW, v.Name+q.suffix, formatFloat(v.Hist.Quantile(q.q)))
+			}
 			for i, c := range v.Hist.Counts {
 				if c == 0 {
 					continue

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Kind classifies a registered metric.
@@ -58,8 +59,16 @@ type entry struct {
 	kind    Kind
 	counter func() uint64
 	gauge   func() float64
-	hist    *Histogram
+	hist    histSource
 	formula func(get func(string) float64) float64
+}
+
+// histSource is what a registered histogram must provide at snapshot time.
+// It is satisfied by Histogram (single-goroutine, zero-overhead Observe) and
+// SyncHistogram (mutex-guarded, for histograms observed concurrently with
+// snapshots — the server's latency metrics).
+type histSource interface {
+	value() *HistValue
 }
 
 // Registry holds the registered metrics of one machine.
@@ -97,6 +106,13 @@ func (r *Registry) Gauge(name, desc string, fn func() float64) {
 // AttachHistogram registers an existing histogram (so the observing hot path
 // can hold the histogram directly, without a registry lookup).
 func (r *Registry) AttachHistogram(name, desc string, h *Histogram) {
+	r.add(&entry{name: name, desc: desc, kind: KindHistogram, hist: h})
+}
+
+// AttachSyncHistogram registers a concurrency-safe histogram. Use it when
+// the observing goroutines are not the snapshotting goroutine (e.g. the
+// server's worker pool observed from a concurrent /v1/metrics scrape).
+func (r *Registry) AttachSyncHistogram(name, desc string, h *SyncHistogram) {
 	r.add(&entry{name: name, desc: desc, kind: KindHistogram, hist: h})
 }
 
@@ -152,6 +168,49 @@ func (h *Histogram) Count() uint64 { return h.n }
 // Sum returns the running sum of observations.
 func (h *Histogram) Sum() float64 { return h.sum }
 
+// SyncHistogram is a Histogram whose Observe and snapshot paths are safe to
+// use from different goroutines. The plain Histogram stays lock-free for the
+// simulator's single-goroutine hot paths; SyncHistogram serves shared-state
+// consumers like the server's job-lifecycle latency metrics, where worker
+// goroutines observe while HTTP scrapes snapshot.
+type SyncHistogram struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// NewSyncHistogram builds a concurrency-safe histogram with the given
+// ascending upper bounds.
+func NewSyncHistogram(bounds []float64) *SyncHistogram {
+	return &SyncHistogram{h: *NewHistogram(bounds)}
+}
+
+// Observe records one sample.
+func (s *SyncHistogram) Observe(v float64) {
+	s.mu.Lock()
+	s.h.Observe(v)
+	s.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (s *SyncHistogram) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Count()
+}
+
+// Sum returns the running sum of observations.
+func (s *SyncHistogram) Sum() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Sum()
+}
+
+func (s *SyncHistogram) value() *HistValue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.value()
+}
+
 // HistValue is a histogram's state captured in a snapshot.
 type HistValue struct {
 	Bounds []float64 `json:"bounds"`
@@ -166,6 +225,45 @@ func (hv *HistValue) Mean() float64 {
 		return 0
 	}
 	return hv.Sum / float64(hv.Count)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear interpolation
+// within the bucket holding the target rank — the same estimate Prometheus's
+// histogram_quantile computes from the exported buckets. Samples in the
+// overflow (+Inf) bucket clamp to the largest finite bound; an empty
+// histogram reports 0.
+func (hv *HistValue) Quantile(q float64) float64 {
+	if hv.Count == 0 || len(hv.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hv.Count)
+	cum := uint64(0)
+	for i, c := range hv.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(hv.Bounds) {
+			return hv.Bounds[len(hv.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = hv.Bounds[i-1]
+		}
+		hi := hv.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return hv.Bounds[len(hv.Bounds)-1]
 }
 
 func (h *Histogram) value() *HistValue {

@@ -54,6 +54,14 @@ if [ "${HITS:-0}" -lt 1 ]; then
     echo "FAIL: expected at least one cache hit on resubmit, got '${HITS:-}'" >&2
     exit 1
 fi
+# The job-lifecycle latency histograms must be live after real traffic.
+for H in server_latency_e2e_ms server_latency_simulate_ms server_latency_queue_wait_ms; do
+    N=$(echo "$METRICS" | awk -v h="${H}_count" '$1 == h { print $2 }')
+    if [ "${N:-0}" -lt 1 ]; then
+        echo "FAIL: latency histogram $H absent or empty in /v1/metrics" >&2
+        exit 1
+    fi
+done
 
 echo "== SIGKILL mid-job: client must recover via resubmission"
 # A mode not simulated above, so the job cannot be a cache hit and must be
