@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet lint race race-core race-server chaos e2e-smoke bench fuzz-smoke profile-artifact perf perf-diff check clean
+.PHONY: all build test vet lint race race-core race-server chaos e2e-smoke bench bench-core fuzz-smoke profile-artifact perf perf-diff check clean
 
 all: check
 
@@ -59,6 +59,13 @@ profile-artifact:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Hot-path micro-benchmarks only: the cost of one Machine.Step and of a whole
+# bounded Run, with allocs/op (the refactor's zero-alloc claim is visible as
+# "0 allocs/op" on the Step rows). Much faster than the full bench sweep.
+bench-core:
+	$(GO) test -bench='MachineStep|MachineRun' -benchmem -run=^$$ \
+		./internal/pipeline
 
 # Meta-benchmark: capture simulator + service throughput into
 # BENCH_$(PERF_LABEL).json (schema specmpk-bench/1). PERF_FLAGS defaults to a

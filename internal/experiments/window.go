@@ -44,7 +44,7 @@ func WindowSweep(r Runner, workloadName string) ([]WindowRow, error) {
 			cfg.LQSize = al / 3
 			cfg.SQSize = al / 5
 			cfg.PRFSize = al/2 + 104
-			cfg.ROBPkruSize = maxI(al/24, 2)
+			cfg.ROBPkruSize = max(al/24, 2)
 			return r.runStats(p, workload.VariantFull, cfg)
 		}
 		ser, err := shape(pipeline.ModeSerialized)
@@ -67,13 +67,6 @@ func WindowSweep(r Runner, workloadName string) ([]WindowRow, error) {
 		})
 	}
 	return rows, nil
-}
-
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // RenderWindow prints the sweep.

@@ -100,6 +100,10 @@ func (d *Diff) Render(w io.Writer) {
 		fmt.Fprintf(w, "note: environments differ (%s/%d procs vs %s/%d procs) — deltas include the environment\n",
 			d.Old.GoVersion, d.Old.GOMAXPROCS, d.New.GoVersion, d.New.GOMAXPROCS)
 	}
+	if d.Old.CPUModel != "" && d.New.CPUModel != "" && d.Old.CPUModel != d.New.CPUModel {
+		fmt.Fprintf(w, "note: captures ran on different CPUs (%q vs %q) — deltas include the hardware\n",
+			d.Old.CPUModel, d.New.CPUModel)
+	}
 	nameW := len("metric")
 	for _, r := range d.Rows {
 		if len(r.Metric) > nameW {

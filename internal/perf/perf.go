@@ -26,10 +26,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"time"
 
 	"specmpk/internal/pipeline"
@@ -54,6 +56,10 @@ type Meta struct {
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUModel is the host CPU ("model name" from /proc/cpuinfo; empty when
+	// undetectable). Throughput deltas between captures from different CPUs
+	// are environment, not code — the diff calls that out.
+	CPUModel string `json:"cpuModel,omitempty"`
 	// SimVersion is api.Version: results under different simulator semantics
 	// may legitimately differ in throughput.
 	SimVersion string `json:"simVersion"`
@@ -155,6 +161,7 @@ func Run(opts Options) (*Bench, error) {
 			GOOS:        runtime.GOOS,
 			GOARCH:      runtime.GOARCH,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			CPUModel:    cpuModel(),
 			SimVersion:  api.Version,
 			CycleBudget: opts.CycleBudget,
 			ServiceJobs: opts.ServiceJobs,
@@ -167,7 +174,44 @@ func Run(opts Options) (*Bench, error) {
 	if err := runServiceSection(opts, b); err != nil {
 		return nil, err
 	}
+	// Round every metric to a stable number of significant digits: the raw
+	// float64 ratios carry ~16 digits of which at most the first few are
+	// measurement (wall-clock jitter alone is percent-level), and the noise
+	// digits churn every committed BENCH file's git diff for nothing.
+	for k, v := range b.Metrics {
+		b.Metrics[k] = roundSig(v, metricSigDigits)
+	}
 	return b, nil
+}
+
+// metricSigDigits is the precision metrics are rounded to before they are
+// reported or written: enough to preserve sub-percent deltas, few enough that
+// the JSON stops carrying measurement noise.
+const metricSigDigits = 5
+
+// roundSig rounds v to n significant decimal digits (exact zero stays zero).
+func roundSig(v float64, n int) float64 {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	scale := math.Pow(10, float64(n-1)-math.Floor(math.Log10(math.Abs(v))))
+	return math.Round(v*scale) / scale
+}
+
+// cpuModel reads the host CPU's model name from /proc/cpuinfo (Linux; other
+// platforms report "").
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok &&
+			strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
 }
 
 // runSimSection measures one point per workload×policy: simulated cycles and
@@ -220,6 +264,10 @@ func runSimSection(opts Options, b *Bench) error {
 // further bounded by ServiceJobCycles.
 const serviceWorkload = "548.exchange2_r"
 
+// serviceHitPasses is how many identical cache-hit passes the service section
+// runs; the fastest one is reported (see runServiceSection).
+const serviceHitPasses = 5
+
 // runServiceSection measures jobs/sec through a live in-process server: a
 // cold pass of distinct specs (distinct seeds — no dedup, no cache), then an
 // identical pass answered entirely by the content-addressed cache. The
@@ -252,9 +300,29 @@ func runServiceSection(opts Options, b *Bench) error {
 	if err != nil {
 		return fmt.Errorf("perf: service cold pass: %w", err)
 	}
+	// Clean-slate barrier, same convention as the sim points: the cold pass
+	// just allocated heavily (one machine per job) and the cache-hit pass is
+	// microseconds long, so without a collection here the hit measurement
+	// mostly times whatever background GC the cold pass left behind — which
+	// made the metric swing with cold-pass speed rather than hit-path cost.
+	runtime.GC()
+	// The hit pass is idempotent (every submission answers from the cache),
+	// so run it a few times and keep the fastest: a single pass is a
+	// sub-millisecond interval whose timing is dominated by scheduler
+	// wakeups, and best-of-N is the standard way to measure the path rather
+	// than the noise.
 	hit, err := runServicePass(srv, specs, true)
 	if err != nil {
 		return fmt.Errorf("perf: service cache-hit pass: %w", err)
+	}
+	for i := 1; i < serviceHitPasses; i++ {
+		again, err := runServicePass(srv, specs, true)
+		if err != nil {
+			return fmt.Errorf("perf: service cache-hit pass: %w", err)
+		}
+		if again < hit {
+			hit = again
+		}
 	}
 	n := float64(opts.ServiceJobs)
 	b.Metrics["service.jobs_per_sec.cold"] = n / cold.Seconds()

@@ -1,0 +1,152 @@
+package pipeline
+
+import "specmpk/internal/isa"
+
+// Devirtualized policy dispatch.
+//
+// The PKRUPolicy seam costs an interface call per hook per instruction per
+// cycle on the hot path. For the three paper microarchitectures — whose
+// concrete types the core knows anyway — that indirection buys nothing, so
+// New caches which built-in the resolved policy is (polKind) and the stage
+// functions call these m.pol* wrappers instead of the interface. Each wrapper
+// switches on polKind and makes a *static* call on the concrete zero-size
+// policy type, which the compiler can inline; the default arm falls back to
+// the interface, so policies registered outside policy_builtin.go (the
+// delayupgrade and noforward extensions, tests, out-of-tree designs) run
+// through the generic registry path unchanged.
+//
+// Only the hooks that fire per-instruction or per-cycle are wrapped. The
+// cold lifecycle hooks (Name, RenamesPKRU, ROBPkruEntries, OnRetireWrpkru,
+// OnSquashRecover) stay on the interface.
+
+// polKind identifies which built-in microarchitecture the machine's policy
+// is, or polGeneric for anything resolved purely through the registry.
+type polKind uint8
+
+const (
+	polGeneric polKind = iota
+	polSerialized
+	polNonSecure
+	polSpecMPK
+)
+
+// specializePolicy maps a resolved policy instance to its devirtualized kind.
+// The type switch is exact: embedding a built-in (as delayupgrade and
+// noforward do) does not match, so extended designs keep generic dispatch and
+// their overridden hooks are never bypassed.
+func specializePolicy(p PKRUPolicy) polKind {
+	switch p.(type) {
+	case serializedPolicy:
+		return polSerialized
+	case renamedPolicy:
+		return polNonSecure
+	case specMPKPolicy:
+		return polSpecMPK
+	}
+	return polGeneric
+}
+
+func (m *Machine) polRenameGate(in isa.Inst) stallReason {
+	switch m.polKind {
+	case polSerialized:
+		return serializedPolicy{}.RenameGate(m, in)
+	case polNonSecure:
+		return renamedPolicy{}.RenameGate(m, in)
+	case polSpecMPK:
+		return specMPKPolicy{}.RenameGate(m, in)
+	}
+	return m.policy.RenameGate(m, in)
+}
+
+func (m *Machine) polDispatchWrpkru(e *alEntry) {
+	switch m.polKind {
+	case polSerialized:
+		serializedPolicy{}.DispatchWrpkru(m, e)
+		return
+	case polNonSecure:
+		renamedPolicy{}.DispatchWrpkru(m, e)
+		return
+	case polSpecMPK:
+		specMPKPolicy{}.DispatchWrpkru(m, e)
+		return
+	}
+	m.policy.DispatchWrpkru(m, e)
+}
+
+func (m *Machine) polTLBUpdateTiming(e *alEntry) TLBMissAction {
+	switch m.polKind {
+	case polSerialized:
+		return serializedPolicy{}.TLBUpdateTiming(m, e)
+	case polNonSecure:
+		return renamedPolicy{}.TLBUpdateTiming(m, e)
+	case polSpecMPK:
+		return specMPKPolicy{}.TLBUpdateTiming(m, e)
+	}
+	return m.policy.TLBUpdateTiming(m, e)
+}
+
+func (m *Machine) polLoadIssueGate(e *alEntry, idx int) GateAction {
+	switch m.polKind {
+	case polSerialized:
+		return serializedPolicy{}.LoadIssueGate(m, e, idx)
+	case polNonSecure:
+		return renamedPolicy{}.LoadIssueGate(m, e, idx)
+	case polSpecMPK:
+		return specMPKPolicy{}.LoadIssueGate(m, e, idx)
+	}
+	return m.policy.LoadIssueGate(m, e, idx)
+}
+
+func (m *Machine) polStoreIssueGate(e *alEntry) GateAction {
+	switch m.polKind {
+	case polSerialized:
+		return serializedPolicy{}.StoreIssueGate(m, e)
+	case polNonSecure:
+		return renamedPolicy{}.StoreIssueGate(m, e)
+	case polSpecMPK:
+		return specMPKPolicy{}.StoreIssueGate(m, e)
+	}
+	return m.policy.StoreIssueGate(m, e)
+}
+
+func (m *Machine) polAllowStoreForward(s *alEntry) bool {
+	switch m.polKind {
+	case polSerialized:
+		return serializedPolicy{}.AllowStoreForward(m, s)
+	case polNonSecure:
+		return renamedPolicy{}.AllowStoreForward(m, s)
+	case polSpecMPK:
+		return specMPKPolicy{}.AllowStoreForward(m, s)
+	}
+	return m.policy.AllowStoreForward(m, s)
+}
+
+func (m *Machine) polWrpkruExecute(e *alEntry) {
+	switch m.polKind {
+	case polSerialized:
+		serializedPolicy{}.WrpkruExecute(m, e)
+		return
+	case polNonSecure:
+		renamedPolicy{}.WrpkruExecute(m, e)
+		return
+	case polSpecMPK:
+		specMPKPolicy{}.WrpkruExecute(m, e)
+		return
+	}
+	m.policy.WrpkruExecute(m, e)
+}
+
+func (m *Machine) polOnSquashEntry(e *alEntry) {
+	switch m.polKind {
+	case polSerialized:
+		serializedPolicy{}.OnSquashEntry(m, e)
+		return
+	case polNonSecure:
+		renamedPolicy{}.OnSquashEntry(m, e)
+		return
+	case polSpecMPK:
+		specMPKPolicy{}.OnSquashEntry(m, e)
+		return
+	}
+	m.policy.OnSquashEntry(m, e)
+}

@@ -66,6 +66,25 @@ func (c *CPIStack) Add(b CPIBucket) {
 	}
 }
 
+// AddN adds n cycles to bucket b — the idle fast-forward's batch equivalent
+// of n Add calls (see skipIdle).
+func (c *CPIStack) AddN(b CPIBucket, n uint64) {
+	switch b {
+	case BucketBase:
+		c.Base += n
+	case BucketFrontend:
+		c.Frontend += n
+	case BucketSerialize:
+		c.Serialize += n
+	case BucketPkruFull:
+		c.PkruFull += n
+	case BucketMemory:
+		c.Memory += n
+	case BucketSquashRecovery:
+		c.SquashRecovery += n
+	}
+}
+
 // Bucket returns the count in bucket b.
 func (c CPIStack) Bucket(b CPIBucket) uint64 {
 	switch b {

@@ -303,7 +303,10 @@ type alEntry struct {
 	pc   uint64
 	in   isa.Inst
 	st   alState
-	done uint64 // cycle the result becomes visible
+	// alIdx is the entry's own active-list slot (set once at rename), so
+	// code holding only the entry pointer can maintain the issue bitmap.
+	alIdx int32
+	done  uint64 // cycle the result becomes visible
 
 	fetchCyc  uint64
 	renameCyc uint64
@@ -314,12 +317,17 @@ type alEntry struct {
 	physRs1 int
 	physRs2 int
 
-	// Control flow.
+	// Control flow. rasCkpt indexes the machine's RAS-checkpoint pool
+	// (rasCkpts) rather than embedding the checkpoint: consecutive
+	// instructions share a checkpoint unless one of them pushed or popped
+	// the RAS, so pooling turns a 500+-byte copy per in-flight instruction
+	// into one copy per call/return — and keeps alEntry small enough that
+	// the window walks stay cache-resident.
 	predTaken  bool
 	predTarget uint64
 	hasDir     bool
 	dir        bpred.DirState
-	rasCkpt    bpred.RASCheckpoint
+	rasCkpt    int
 	actTaken   bool
 	actTarget  uint64
 
@@ -372,7 +380,12 @@ type Machine struct {
 
 	// policy is the WRPKRU microarchitecture Cfg.Mode resolved to; every
 	// mode-specific decision in the stage functions goes through it.
-	policy PKRUPolicy
+	// polKind caches which built-in implementation policy is, so the stage
+	// functions can dispatch the per-cycle hooks statically (dispatch.go)
+	// instead of through the interface; polGeneric keeps the registry seam
+	// for out-of-tree policies.
+	policy  PKRUPolicy
+	polKind polKind
 
 	Stats Stats
 
@@ -425,10 +438,25 @@ type Machine struct {
 	btb  *bpred.BTB
 	ras  *bpred.RAS
 
+	// RAS-checkpoint pool: the RAS only changes on calls and returns, so
+	// consecutive instructions share one checkpoint. Fetch appends a pool
+	// entry per RAS mutation (rasCheckpoint) and in-flight instructions carry
+	// pool indices; a squash restore rewinds the cursor along with the RAS
+	// (rasRestore), which is what bounds the pool: between the oldest live
+	// index and rasCur there is at most one entry per in-flight call/return,
+	// so a pool sized AL + fetch queue + 2 can never overwrite a live entry.
+	rasCkpts []bpred.RASCheckpoint
+	rasCur   int
+
 	pc           uint64
 	fetchStopped bool // saw HALT (or unrecoverable fetch fault)
 	fetchStallTo uint64
-	fq           []fqEntry // fetch/decode queue
+
+	// Fetch/decode queue: a fixed ring sized at New (fetch width times the
+	// decode depth plus one), so the steady-state fetch path never allocates.
+	fq     []fqEntry
+	fqHead int
+	fqLen  int
 
 	// Rename structures.
 	rmt      [isa.NumRegs]int
@@ -444,7 +472,30 @@ type Machine struct {
 	alCnt  int
 
 	lqCnt, sqCnt int
-	iqCnt        int // renamed but not yet issued
+	// iqCnt counts active-list entries still waiting to issue (st ==
+	// stWaiting), maintained incrementally so the rename stage's issue-queue
+	// occupancy check is O(1) instead of a per-cycle window walk.
+	iqCnt int
+	// iqBits is the issue stage's work list: one bit per active-list slot
+	// (indexed physically, not by window offset), set while the entry is
+	// waiting and issuable. The issue walk scans set bits in age order
+	// instead of touching every window entry. A bit clears when its entry
+	// issues, squashes, or defers to the AL head (deferred entries rejoin
+	// via the retire stage, never the issue walk).
+	iqBits []uint64
+	// issuedCnt counts entries in stIssued (executed, completion pending);
+	// the completion walk stops once it has seen them all.
+	issuedCnt int
+	// sqUnresolved counts in-flight stores whose address is still unknown
+	// (addrReady false, no fault). Zero lets a load skip the conservative
+	// disambiguation scan entirely — the scan could not find anything.
+	sqUnresolved int
+	// nextDone is a lower bound on the earliest completion cycle of any
+	// stIssued entry (noDone when none): the complete stage returns
+	// immediately on cycles before it, and the idle fast-forward uses it as
+	// the next-event horizon. Squashes reset it to the current cycle (forcing
+	// one recomputing walk) rather than tracking the removed entries.
+	nextDone uint64
 
 	seq        uint64
 	cycle      uint64
@@ -471,23 +522,44 @@ type Machine struct {
 	firstRetiredPC   uint64      // oldest PC retired this cycle
 	recoverUntil     uint64      // squash-redirect shadow end cycle
 
-	// loadLat observes every executed load's latency; reg is the lazily
-	// built unified metrics registry over this machine (StatsRegistry).
-	loadLat *stats.Histogram
-	reg     *stats.Registry
+	// Idle fast-forward bookkeeping (fastpath.go): progressed records
+	// whether any stage changed machine state this Step (beyond the per-cycle
+	// counters), renameWanted whether rename had a ready instruction it could
+	// not rename, and lastBucket the CPI bucket accountCycle attributed the
+	// cycle to — exactly what a batch of identical stall cycles must repeat.
+	progressed   bool
+	renameWanted bool
+	lastBucket   CPIBucket
+
+	// Batched load-latency histogram: plain integer bucket counters bumped
+	// on the hot path, materialized into a stats HistValue only at snapshot
+	// time (StatsRegistry registers them via HistogramFunc).
+	loadLatCounts [len(loadLatBounds) + 1]uint64
+	loadLatSum    uint64
+	loadLatN      uint64
+
+	// reg is the lazily built unified metrics registry over this machine
+	// (StatsRegistry).
+	reg *stats.Registry
 }
+
+// noDone is nextDone's value when no issued entry awaits completion.
+const noDone = ^uint64(0)
 
 type fqEntry struct {
 	pc        uint64
 	in        isa.Inst
 	readyAt   uint64
 	fetchedAt uint64
+	// badFetch marks a faulting fetch marker (pc off the text segment), so
+	// rename can recognize it without a second program lookup.
+	badFetch bool
 
 	predTaken  bool
 	predTarget uint64
 	hasDir     bool
 	dir        bpred.DirState
-	rasCkpt    bpred.RASCheckpoint
+	rasCkpt    int // RAS-checkpoint pool index (see Machine.rasCkpts)
 }
 
 // New loads prog and builds a machine.
@@ -514,15 +586,17 @@ func NewWithState(cfg Config, prog *asm.Program, as *mem.AddressSpace,
 		return nil, err
 	}
 	pkruEntries := pol.ROBPkruEntries(cfg)
+	fqCap := cfg.Width * (cfg.FrontendDepth + 1)
 	m := &Machine{
 		Cfg:       cfg,
 		policy:    pol,
+		polKind:   specializePolicy(pol),
 		Prog:      prog,
 		AS:        as,
 		Hier:      cache.NewHierarchy(cfg.Caches),
 		DTLB:      tlb.New(cfg.DTLB),
 		ITLB:      tlb.New(cfg.ITLB),
-		PKRUState: core.New(core.Config{ROBSize: maxInt(pkruEntries, 1)}),
+		PKRUState: core.New(core.Config{ROBSize: max(pkruEntries, 1)}),
 		tage:      bpred.NewTAGE(),
 		btb:       bpred.NewBTB(cfg.BTBEntries),
 		ras:       bpred.NewRAS(cfg.RASEntries),
@@ -530,8 +604,12 @@ func NewWithState(cfg Config, prog *asm.Program, as *mem.AddressSpace,
 		prf:       make([]uint64, cfg.PRFSize),
 		prfReady:  make([]bool, cfg.PRFSize),
 		al:        make([]alEntry, cfg.ALSize),
-		loadLat:   stats.NewHistogram([]float64{2, 4, 8, 16, 32, 64, 128, 256, 512}),
+		fq:        make([]fqEntry, fqCap),
+		iqBits:    make([]uint64, (cfg.ALSize+63)/64),
+		rasCkpts:  make([]bpred.RASCheckpoint, cfg.ALSize+fqCap+2),
+		nextDone:  noDone,
 	}
+	m.rasCkpts[0] = m.ras.Checkpoint()
 	m.PKRUState.SetARF(pkru)
 	if cfg.MemDepSpeculation {
 		m.violators = make(map[uint64]bool)
@@ -552,11 +630,46 @@ func NewWithState(cfg Config, prog *asm.Program, as *mem.AddressSpace,
 			m.prf[r] = v
 		}
 	}
+	// Preallocate the free list at full PRF capacity: squash and retire push
+	// registers back with plain appends, and a capacity that can hold every
+	// physical register guarantees those pushes never reallocate.
+	m.freeList = make([]int, 0, cfg.PRFSize)
 	for p := isa.NumRegs; p < cfg.PRFSize; p++ {
 		m.freeList = append(m.freeList, p)
 	}
 	return m, nil
 }
+
+// ---------------------------------------------------------------------------
+// Fetch-queue ring
+
+// fqPush appends a slot at the tail and returns it; the caller overwrites it
+// entirely. Callers check fqFull first.
+func (m *Machine) fqPush() *fqEntry {
+	i := m.fqHead + m.fqLen
+	if i >= len(m.fq) {
+		i -= len(m.fq)
+	}
+	m.fqLen++
+	return &m.fq[i]
+}
+
+// fqFront returns the oldest queued entry. The pointer stays valid until the
+// next fqPush, which cannot happen before the fetch stage runs — rename (the
+// only consumer) finishes with the entry first.
+func (m *Machine) fqFront() *fqEntry { return &m.fq[m.fqHead] }
+
+// fqPop removes the oldest entry.
+func (m *Machine) fqPop() {
+	m.fqHead++
+	if m.fqHead == len(m.fq) {
+		m.fqHead = 0
+	}
+	m.fqLen--
+}
+
+// fqClear empties the queue (squash redirect).
+func (m *Machine) fqClear() { m.fqHead, m.fqLen = 0, 0 }
 
 // RunInsts steps until n instructions have retired (or HALT/fault/cycle
 // budget). Used for fixed-length SimPoint interval simulation.
@@ -571,7 +684,7 @@ func (m *Machine) RunInsts(n, maxCycles uint64) error {
 			m.Stats.Stop = StopFault
 			return m.fault
 		}
-		m.Step()
+		m.stepFast(maxCycles)
 	}
 	if m.halted {
 		m.Stats.Stop = StopHalt
@@ -595,13 +708,6 @@ func (m *Machine) clampBudget(maxCycles uint64) uint64 {
 		return m.Cfg.MaxCycles
 	}
 	return maxCycles
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Halted reports whether the program has retired its HALT.
@@ -674,6 +780,10 @@ const ctxCheckInterval = 1024
 func (m *Machine) RunContext(ctx context.Context, maxCycles uint64) error {
 	maxCycles = m.clampBudget(maxCycles)
 	done := ctx.Done()
+	// The poll schedule is a moving target rather than a modulo so that idle
+	// fast-forward skips (which land the cycle counter on arbitrary values)
+	// cannot starve the cancellation check.
+	nextPoll := m.cycle
 	for m.cycle < maxCycles {
 		if m.halted {
 			m.Stats.Stop = StopHalt
@@ -683,7 +793,8 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles uint64) error {
 			m.Stats.Stop = StopFault
 			return m.fault
 		}
-		if done != nil && m.cycle%ctxCheckInterval == 0 {
+		if done != nil && m.cycle >= nextPoll {
+			nextPoll = m.cycle + ctxCheckInterval
 			select {
 			case <-done:
 				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
@@ -695,7 +806,7 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles uint64) error {
 			default:
 			}
 		}
-		m.Step()
+		m.stepFast(maxCycles)
 	}
 	if m.halted {
 		m.Stats.Stop = StopHalt
@@ -716,6 +827,8 @@ func (m *Machine) Step() {
 	m.Stats.Cycles++
 	m.retiredThisCycle = 0
 	m.renameBlock = stallNone
+	m.renameWanted = false
+	m.progressed = false
 	m.completeStage()
 	m.retireStage()
 	m.issueStage()
@@ -770,6 +883,7 @@ func (m *Machine) accountCycle() {
 		b = BucketFrontend
 		pc = m.pc
 	}
+	m.lastBucket = b
 	if m.Prof != nil {
 		m.Prof.CycleAttributed(b, pc)
 	}
@@ -783,7 +897,14 @@ func (m *Machine) emit(e trace.Event) {
 	}
 }
 
-// alAt returns the entry at ring offset i from head (0 = oldest).
+// alAt returns the entry at ring offset i from head (0 = oldest). Offsets are
+// always < len(al) and head wraps below len(al), so a single conditional
+// subtract replaces the modulo — this is the hottest address computation in
+// the simulator and an integer divide here dominated the seed profile.
 func (m *Machine) alAt(i int) *alEntry {
-	return &m.al[(m.alHead+i)%len(m.al)]
+	i += m.alHead
+	if n := len(m.al); i >= n {
+		i -= n
+	}
+	return &m.al[i]
 }

@@ -41,6 +41,15 @@ type PKRUPolicy interface {
 	// RenameGate is consulted for each instruction before it renames,
 	// after the structural-resource checks. A non-stallNone return blocks
 	// rename for the cycle and is attributed to that CPI-stack bucket.
+	//
+	// RenameGate must be a pure verdict: it may read machine and policy
+	// state but must not mutate either. The core relies on this — when a
+	// cycle makes no progress, the idle fast-forward (fastpath.go) skips
+	// ahead without re-evaluating the gate on the intervening cycles, which
+	// is only sound if those evaluations would have been side-effect-free
+	// repeats. (The other per-instruction hooks run at most once per entry
+	// per issue attempt, so they may mutate; only RenameGate is re-polled
+	// every stalled cycle.)
 	RenameGate(m *Machine, in isa.Inst) stallReason
 
 	// DispatchWrpkru runs at rename for every instruction, right after its
@@ -244,7 +253,15 @@ func (m Mode) String() string {
 // specPKRU returns the PKRU value a renamed design's memory instruction at
 // AL offset idx observes: the youngest older in-flight WRPKRU's value
 // (guaranteed executed by the issue dependence), or the committed ARF.
+//
+// The walk only runs while a WRPKRU is actually in flight (RMT_pkru valid) —
+// otherwise it cannot find one and the answer is the ARF. This assumes the
+// calling design renames its WRPKRUs through PKRUState, which every in-tree
+// renamed policy does.
 func (m *Machine) specPKRU(idx int) mpk.PKRU {
+	if !m.PKRUState.RMTValid() {
+		return m.PKRUState.ARF()
+	}
 	for j := idx - 1; j >= 0; j-- {
 		s := m.alAt(j)
 		if s.in.Op == isa.OpWrpkru {

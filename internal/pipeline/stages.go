@@ -1,9 +1,12 @@
 package pipeline
 
 import (
+	"math/bits"
+
 	"specmpk/internal/core"
 	"specmpk/internal/isa"
 	"specmpk/internal/mem"
+	"specmpk/internal/stats"
 	"specmpk/internal/trace"
 )
 
@@ -17,8 +20,11 @@ func (m *Machine) fetchStage() {
 	if m.cycle < m.fetchStallTo {
 		return
 	}
-	cap := m.Cfg.Width * (m.Cfg.FrontendDepth + 1)
-	for n := 0; n < m.Cfg.Width && len(m.fq) < cap; n++ {
+	for n := 0; n < m.Cfg.Width && m.fqLen < len(m.fq); n++ {
+		// The body always mutates machine state (fetch-queue push, stall
+		// timer, or I-cache line bookkeeping), so this cycle cannot be
+		// fast-forwarded over.
+		m.progressed = true
 		// Instruction-cache timing: charge only when crossing into a new
 		// line; hit latency is pipelined away, misses stall fetch.
 		line := m.pc>>6 + 1
@@ -35,20 +41,24 @@ func (m *Machine) fetchStage() {
 			// Fetch wandered off the text segment (usually wrong path).
 			// Enqueue a faulting marker and stop fetching; a squash or
 			// retirement will sort it out.
-			m.fq = append(m.fq, fqEntry{
+			fe := m.fqPush()
+			*fe = fqEntry{
 				pc:        m.pc,
 				in:        isa.Inst{Op: isa.OpNop},
 				readyAt:   m.cycle + uint64(m.Cfg.FrontendDepth),
 				fetchedAt: m.cycle,
-			})
-			m.fq[len(m.fq)-1].rasCkpt = m.ras.Checkpoint()
+				badFetch:  true,
+				rasCkpt:   m.rasCur,
+			}
 			m.fetchStopped = true
 			m.Stats.Fetched++
 			return
 		}
-		fe := fqEntry{pc: m.pc, in: in, readyAt: m.cycle + uint64(m.Cfg.FrontendDepth), fetchedAt: m.cycle}
+		fe := m.fqPush()
+		*fe = fqEntry{pc: m.pc, in: in, readyAt: m.cycle + uint64(m.Cfg.FrontendDepth), fetchedAt: m.cycle}
 		nextPC := m.pc + isa.InstBytes
 		taken := false
+		rasMut := false
 		switch {
 		case in.Op.IsCondBranch():
 			pred, st := m.tage.Predict(m.pc)
@@ -66,6 +76,7 @@ func (m *Machine) fetchStage() {
 			fe.predTarget = uint64(in.Imm)
 			if in.IsCall() {
 				m.ras.Push(m.pc + isa.InstBytes)
+				rasMut = true
 			}
 			nextPC = fe.predTarget
 			taken = true
@@ -73,6 +84,7 @@ func (m *Machine) fetchStage() {
 			fe.predTaken = true
 			if in.IsReturn() {
 				fe.predTarget = m.ras.Pop()
+				rasMut = true
 			} else {
 				if tgt, hit := m.btb.Lookup(m.pc); hit {
 					fe.predTarget = tgt
@@ -81,15 +93,17 @@ func (m *Machine) fetchStage() {
 				}
 				if in.IsCall() {
 					m.ras.Push(m.pc + isa.InstBytes)
+					rasMut = true
 				}
 			}
 			nextPC = fe.predTarget
 			taken = true
 		}
-		// Checkpoint captures the state *after* this instruction's own RAS
-		// effect, so recovery replays younger wrong-path effects only.
-		fe.rasCkpt = m.ras.Checkpoint()
-		m.fq = append(m.fq, fe)
+		// The checkpoint captures the state *after* this instruction's own RAS
+		// effect, so recovery replays younger wrong-path effects only. Only
+		// calls and returns create a new pool entry; everything else shares
+		// the previous one.
+		fe.rasCkpt = m.rasCheckpoint(rasMut)
 		m.Stats.Fetched++
 		m.pc = nextPC
 		if in.Op == isa.OpHalt {
@@ -147,9 +161,8 @@ func (m *Machine) renameStage() {
 	renamed := 0
 	wanted := false
 	reason := stallNone
-	iqOcc := m.iqOccupancy()
-	for renamed < m.Cfg.Width && len(m.fq) > 0 {
-		fe := m.fq[0]
+	for renamed < m.Cfg.Width && m.fqLen > 0 {
+		fe := m.fqFront()
 		if fe.readyAt > m.cycle {
 			break
 		}
@@ -159,7 +172,7 @@ func (m *Machine) renameStage() {
 		m.renameBlockPC = fe.pc
 		in := fe.in
 		// Structural resources.
-		if m.alCnt == len(m.al) || iqOcc >= m.Cfg.IQSize {
+		if m.alCnt == len(m.al) || m.iqCnt >= m.Cfg.IQSize {
 			reason = stallResource
 			break
 		}
@@ -177,19 +190,23 @@ func (m *Machine) renameStage() {
 			break
 		}
 		// WRPKRU / RDPKRU serialization per microarchitecture.
-		if r := m.policy.RenameGate(m, in); r != stallNone {
+		if r := m.polRenameGate(in); r != stallNone {
 			reason = r
 			break
 		}
 
-		// Allocate the active-list entry.
-		m.fq = m.fq[1:]
+		// Allocate the active-list entry. (fe remains readable after the
+		// pop: nothing pushes into the ring before the fetch stage, which
+		// runs after rename within the cycle.)
+		m.fqPop()
+		m.progressed = true
 		m.seq++
 		e := &m.al[m.alTail]
 		*e = alEntry{
 			seq:        m.seq,
 			pc:         fe.pc,
 			in:         in,
+			alIdx:      int32(m.alTail),
 			fetchCyc:   fe.fetchedAt,
 			renameCyc:  m.cycle,
 			st:         stWaiting,
@@ -204,15 +221,20 @@ func (m *Machine) renameStage() {
 			dir:        fe.dir,
 			rasCkpt:    fe.rasCkpt,
 		}
-		m.alTail = (m.alTail + 1) % len(m.al)
+		m.iqSetBit(m.alTail)
+		m.alTail++
+		if m.alTail == len(m.al) {
+			m.alTail = 0
+		}
 		m.alCnt++
-		iqOcc++
-		if _, ok := m.Prog.InstAt(fe.pc); !ok {
+		m.iqCnt++
+		if fe.badFetch {
 			// Fetch-fault marker: deliver an exec fault at retirement.
 			e.fault = &mem.Fault{Kind: mem.FaultPage, Addr: fe.pc, Access: mem.Exec}
 			e.st = stDone
 			e.done = m.cycle
-			iqOcc--
+			m.iqCnt--
+			m.iqClearBit(int(e.alIdx))
 		}
 		if in.ReadsRs1() {
 			e.physRs1 = m.rmt[in.Rs1]
@@ -221,7 +243,7 @@ func (m *Machine) renameStage() {
 			e.physRs2 = m.rmt[in.Rs2]
 		}
 		// PKRU renaming / serialization bookkeeping.
-		m.policy.DispatchWrpkru(m, e)
+		m.polDispatchWrpkru(e)
 		if writes {
 			p := m.freeList[len(m.freeList)-1]
 			m.freeList = m.freeList[:len(m.freeList)-1]
@@ -238,11 +260,13 @@ func (m *Machine) renameStage() {
 			e.isStore = true
 			e.memBytes = in.Op.MemBytes()
 			m.sqCnt++
+			m.sqUnresolved++ // address unknown until storeExecute
 		}
 		renamed++
 		m.Stats.Renamed++
 	}
 	if wanted && renamed == 0 {
+		m.renameWanted = true
 		m.Stats.RenameStallCycles++
 		m.renameBlock = reason
 		switch reason {
@@ -254,16 +278,6 @@ func (m *Machine) renameStage() {
 	}
 }
 
-func (m *Machine) iqOccupancy() int {
-	n := 0
-	for i := 0; i < m.alCnt; i++ {
-		if m.alAt(i).st == stWaiting {
-			n++
-		}
-	}
-	return n
-}
-
 // ---------------------------------------------------------------------------
 // Issue + execute
 
@@ -271,24 +285,67 @@ func (m *Machine) issueStage() {
 	if m.halted || m.fault != nil {
 		return
 	}
+	if m.iqCnt == 0 {
+		return
+	}
 	issued := 0
-	for i := 0; i < m.alCnt && issued < m.Cfg.IssueWidth; i++ {
-		e := m.alAt(i)
-		if e.st != stWaiting || e.stallTillHead {
+	n := len(m.al)
+	// Walk the waiting-entry bitmap in age order: the window occupies
+	// [alHead, alHead+alCnt) on the ring, i.e. at most two physical spans,
+	// and within a span ascending slot number is ascending age. Only bits for
+	// waiting, non-deferred entries are set, so the walk touches exactly the
+	// entries the old full-window scan would have executed or skipped as
+	// not-ready — in the same order, with the same intermediate state.
+	spanEnd := m.alHead + m.alCnt
+	hi0 := spanEnd
+	if hi0 > n {
+		hi0 = n
+	}
+	spans := [2][2]int{{m.alHead, hi0}, {0, spanEnd - hi0}}
+	for _, sp := range spans {
+		lo, hi := sp[0], sp[1]
+		if lo >= hi {
 			continue
 		}
-		if !m.ready(e, i) {
-			continue
-		}
-		squashed := m.execute(e, i)
-		if e.st != stWaiting { // actually issued (not deferred to head)
-			issued++
-			m.Stats.IssuedN++
-		}
-		if squashed {
-			// A resolving store found a memory-order violation and the
-			// window behind it is gone; indices are stale.
-			return
+		for w := lo >> 6; w <= (hi-1)>>6; w++ {
+			word := m.iqBits[w]
+			base := w << 6
+			if base < lo {
+				word &= ^uint64(0) << uint(lo-base)
+			}
+			if base+64 > hi {
+				word &= 1<<uint(hi-base) - 1
+			}
+			for word != 0 {
+				phys := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				e := &m.al[phys]
+				idx := phys - m.alHead // window offset (disambiguation scans)
+				if idx < 0 {
+					idx += n
+				}
+				if !m.ready(e, idx) {
+					continue
+				}
+				m.progressed = true // execute always mutates (issue, defer, or squash)
+				squashed := m.execute(e, idx)
+				if e.st != stWaiting { // actually issued (not deferred to head)
+					issued++
+					m.Stats.IssuedN++
+				} else {
+					// Deferred to the AL head: drop it from the walk; the
+					// retire stage replays it (markIssued re-clears the bit).
+					m.iqClearBit(phys)
+				}
+				if squashed {
+					// A resolving store found a memory-order violation and
+					// the window behind it is gone; the spans are stale.
+					return
+				}
+				if issued >= m.Cfg.IssueWidth {
+					return
+				}
+			}
 		}
 	}
 }
@@ -312,6 +369,11 @@ func (m *Machine) ready(e *alEntry, idx int) bool {
 		// (unless its PC has violated before) and a later-resolving store
 		// squashes it on overlap.
 		if m.Cfg.MemDepSpeculation && !m.violators[e.pc] {
+			return true
+		}
+		if m.sqUnresolved == 0 {
+			// No in-flight store has an unknown address; the scan below
+			// could not find one.
 			return true
 		}
 		for j := 0; j < idx; j++ {
@@ -424,8 +486,7 @@ func (m *Machine) execute(e *alEntry, idx int) bool {
 	case e.in.Op == isa.OpNop || e.in.Op == isa.OpHalt:
 		// Nothing to compute.
 	}
-	e.st = stIssued
-	e.done = m.cycle + uint64(lat)
+	m.markIssued(e, m.cycle+uint64(lat))
 	return false
 }
 
@@ -455,9 +516,9 @@ func (m *Machine) checkMemOrder(idx int) bool {
 		// Recover the front end to the load. (The global branch history
 		// keeps the squashed suffix's bits — predictor state is heuristic,
 		// not architectural.)
-		m.ras.Restore(ras)
+		m.rasRestore(ras)
 		m.pc = pc
-		m.fq = m.fq[:0]
+		m.fqClear()
 		m.fetchStopped = false
 		m.fetchStallTo = 0
 		m.curICLine = 0
@@ -497,7 +558,7 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 
 	pte, hit := m.DTLB.Lookup(vpn)
 	if !hit {
-		if m.policy.TLBUpdateTiming(m, e) == TLBDeferToRetire {
+		if m.polTLBUpdateTiming(e) == TLBDeferToRetire {
 			// The pKey of an uncached page is unknown, so the access
 			// conservatively stalls and re-executes at the AL head.
 			e.stallTillHead = true
@@ -527,7 +588,7 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 	}
 	e.pkey = int(pte.PKey)
 
-	switch m.policy.LoadIssueGate(m, e, idx) {
+	switch m.polLoadIssueGate(e, idx) {
 	case GateStallTillHead:
 		// PKRU Load Check failed: stall until non-squashable, leaving
 		// no cache or TLB footprint.
@@ -541,59 +602,93 @@ func (m *Machine) loadExecute(e *alEntry, idx int, rs1 uint64) {
 		return
 	}
 
-	// Store-to-load forwarding against older in-flight stores. Stores with
-	// unresolved addresses can only be present under memory-dependence
-	// speculation; the load optimistically assumes independence and the
-	// store checks for a violation when it resolves.
-	for j := idx - 1; j >= 0; j-- {
-		s := m.alAt(j)
-		if !s.isStore || s.fault != nil || !s.addrReady {
-			continue
-		}
-		if !overlaps(s.vaddr, s.memBytes, e.vaddr, e.memBytes) {
-			continue
-		}
-		if !m.policy.AllowStoreForward(m, s) {
-			// Forwarding suppressed; the load waits for the head
-			// (by which time the store has committed to memory).
+	// Store-to-load forwarding against older in-flight stores (skipped
+	// outright when the store queue is empty). Stores with unresolved
+	// addresses can only be present under memory-dependence speculation; the
+	// load optimistically assumes independence and the store checks for a
+	// violation when it resolves.
+	if m.sqCnt > 0 {
+		for j := idx - 1; j >= 0; j-- {
+			s := m.alAt(j)
+			if !s.isStore || s.fault != nil || !s.addrReady {
+				continue
+			}
+			if !overlaps(s.vaddr, s.memBytes, e.vaddr, e.memBytes) {
+				continue
+			}
+			if !m.polAllowStoreForward(s) {
+				// Forwarding suppressed; the load waits for the head
+				// (by which time the store has committed to memory).
+				e.stallTillHead = true
+				e.stallCyc = m.cycle
+				m.Stats.ForwardBlockedLoads++
+				m.Stats.LoadsStalledTillHead++
+				m.audit(AuditEvent{Kind: AuditLoadStall, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Reason: "forward_blocked"})
+				return
+			}
+			if s.vaddr == e.vaddr && s.memBytes == e.memBytes {
+				val := s.storeData
+				if e.memBytes == 1 {
+					val &= 0xff
+				}
+				m.writeDest(e, val)
+				m.Stats.LoadsForwarded++
+				m.markIssued(e, m.cycle+uint64(lat+1))
+				m.loadHook(e, lat+1)
+				return
+			}
+			// Partial overlap: conservative.
 			e.stallTillHead = true
 			e.stallCyc = m.cycle
-			m.Stats.ForwardBlockedLoads++
 			m.Stats.LoadsStalledTillHead++
-			m.audit(AuditEvent{Kind: AuditLoadStall, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Reason: "forward_blocked"})
+			m.audit(AuditEvent{Kind: AuditLoadStall, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Reason: "partial_forward"})
 			return
 		}
-		if s.vaddr == e.vaddr && s.memBytes == e.memBytes {
-			val := s.storeData
-			if e.memBytes == 1 {
-				val &= 0xff
-			}
-			m.writeDest(e, val)
-			m.Stats.LoadsForwarded++
-			e.st = stIssued
-			e.done = m.cycle + uint64(lat+1)
-			m.loadHook(e, lat+1)
-			return
-		}
-		// Partial overlap: conservative.
-		e.stallTillHead = true
-		e.stallCyc = m.cycle
-		m.Stats.LoadsStalledTillHead++
-		m.audit(AuditEvent{Kind: AuditLoadStall, Pkey: e.pkey, PC: e.pc, Seq: e.seq, Reason: "partial_forward"})
-		return
 	}
 
 	lat += m.Hier.LoadLatency(e.paddr)
 	m.writeDest(e, m.readMem(e.paddr, e.memBytes))
-	e.st = stIssued
-	e.done = m.cycle + uint64(lat)
+	m.markIssued(e, m.cycle+uint64(lat))
 	m.loadHook(e, lat)
 }
 
+// loadLatBounds are the load-latency histogram's inclusive upper bounds.
+// Powers of two, so the hot-path bucket index is a bit-length computation
+// instead of a per-observation bounds scan.
+var loadLatBounds = [...]float64{2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// loadLatBucket maps a latency to its histogram bucket — the first bound
+// >= lat, or the overflow bucket — exactly as stats.Histogram.Observe's
+// ascending scan would.
+func loadLatBucket(lat int) int {
+	if lat <= 2 {
+		return 0
+	}
+	b := bits.Len64(uint64(lat)-1) - 1
+	if b > len(loadLatBounds) {
+		b = len(loadLatBounds)
+	}
+	return b
+}
+
 func (m *Machine) loadHook(e *alEntry, lat int) {
-	m.loadLat.Observe(float64(lat))
+	m.loadLatCounts[loadLatBucket(lat)]++
+	m.loadLatSum += uint64(lat)
+	m.loadLatN++
 	if m.OnLoadLatency != nil {
 		m.OnLoadLatency(e.vaddr, lat)
+	}
+}
+
+// loadLatValue materializes the batched load-latency counters into the shape
+// a stats.Histogram snapshot produces; the registry's snapshot/delta
+// semantics apply unchanged (registered via Registry.HistogramFunc).
+func (m *Machine) loadLatValue() stats.HistValue {
+	return stats.HistValue{
+		Bounds: append([]float64(nil), loadLatBounds[:]...),
+		Counts: append([]uint64(nil), m.loadLatCounts[:]...),
+		Sum:    float64(m.loadLatSum),
+		Count:  m.loadLatN,
 	}
 }
 
@@ -610,20 +705,20 @@ func overlaps(a uint64, an int, b uint64, bn int) bool {
 
 func (m *Machine) finishFaulted(e *alEntry, f *mem.Fault, lat int) {
 	e.fault = f
-	e.st = stIssued
-	e.done = m.cycle + uint64(lat)
+	m.markIssued(e, m.cycle+uint64(lat))
 }
 
 func (m *Machine) storeExecute(e *alEntry, rs1, rs2 uint64) {
 	e.vaddr = rs1 + uint64(e.in.Imm)
 	e.storeData = rs2
 	e.addrReady = true
+	m.sqUnresolved-- // address now known (re-withheld below if suspect)
 	lat := 1
 	vpn := e.vaddr >> mem.PageBits
 
 	pte, hit := m.DTLB.Lookup(vpn)
 	if !hit {
-		switch m.policy.TLBUpdateTiming(m, e) {
+		switch m.polTLBUpdateTiming(e) {
 		case TLBWalkNow:
 			lat += m.DTLB.WalkLatency()
 			paddr, pte2, err := m.AS.Translate(e.vaddr, mem.Write)
@@ -665,7 +760,7 @@ func (m *Machine) storeExecute(e *alEntry, rs1, rs2 uint64) {
 		if !pte.AllowsProt(mem.Write) {
 			e.fault = &mem.Fault{Kind: mem.FaultProt, Addr: e.vaddr, Access: mem.Write}
 		} else {
-			switch m.policy.StoreIssueGate(m, e) {
+			switch m.polStoreIssueGate(e) {
 			case GateNoForward:
 				// Store Check failed: no forwarding; precise permission
 				// re-verification happens at retirement (commitStore).
@@ -683,11 +778,11 @@ func (m *Machine) storeExecute(e *alEntry, rs1, rs2 uint64) {
 		// Ablation: the suspect store withholds its address until it
 		// is non-squashable (see Config.StallSuspectStores).
 		e.addrReady = false
+		m.sqUnresolved++
 		e.stallTillHead = true
 		return
 	}
-	e.st = stIssued
-	e.done = m.cycle + uint64(lat)
+	m.markIssued(e, m.cycle+uint64(lat))
 }
 
 // ---------------------------------------------------------------------------
@@ -697,12 +792,28 @@ func (m *Machine) completeStage() {
 	if m.halted || m.fault != nil {
 		return
 	}
-	for i := 0; i < m.alCnt; i++ {
+	if m.cycle < m.nextDone {
+		return // nothing issued can complete yet
+	}
+	// Walk until every issued entry has been seen, recomputing the
+	// completion horizon from the ones still pending.
+	next := noDone
+	remaining := m.issuedCnt
+	for i := 0; i < m.alCnt && remaining > 0; i++ {
 		e := m.alAt(i)
-		if e.st != stIssued || e.done > m.cycle {
+		if e.st != stIssued {
 			continue
 		}
+		remaining--
+		if e.done > m.cycle {
+			if e.done < next {
+				next = e.done
+			}
+			continue
+		}
+		m.progressed = true
 		e.st = stDone
+		m.issuedCnt--
 		if e.newPhys != noReg {
 			// Faulting producers also wake dependents: the value is
 			// garbage but never commits — either an older branch squashes
@@ -716,13 +827,16 @@ func (m *Machine) completeStage() {
 			// Open the audit ledger's transient-upgrade windows against the
 			// still-committed ARF before the policy delivers the value.
 			m.auditUpgradeOpen(e)
-			m.policy.WrpkruExecute(m, e)
+			m.polWrpkruExecute(e)
 		case e.in.Op.IsControl():
 			if m.resolveControl(e, i) {
-				return // squashed everything younger; stop scanning
+				// Squashed everything younger; stop scanning. squashAfter
+				// reset nextDone, forcing a full recompute next cycle.
+				return
 			}
 		}
 	}
+	m.nextDone = next
 }
 
 // resolveControl trains the predictors and recovers from a misprediction.
@@ -753,13 +867,13 @@ func (m *Machine) resolveControl(e *alEntry, idx int) bool {
 	if e.hasDir {
 		m.tage.Recover(e.dir, e.actTaken)
 	}
-	m.ras.Restore(e.rasCkpt)
+	m.rasRestore(e.rasCkpt)
 	if e.actTaken {
 		m.pc = e.actTarget
 	} else {
 		m.pc = e.pc + isa.InstBytes
 	}
-	m.fq = m.fq[:0]
+	m.fqClear()
 	m.fetchStopped = false
 	m.fetchStallTo = 0
 	m.curICLine = 0
@@ -779,6 +893,16 @@ func (m *Machine) squashAfter(idx int, why string) {
 	m.recoverUntil = m.cycle + uint64(m.Cfg.FrontendDepth) + 1
 	for j := m.alCnt - 1; j > idx; j-- {
 		e := m.alAt(j)
+		switch e.st {
+		case stWaiting:
+			m.iqCnt--
+			m.iqClearBit(int(e.alIdx))
+		case stIssued:
+			m.issuedCnt--
+		}
+		if e.isStore && !e.addrReady && e.fault == nil {
+			m.sqUnresolved--
+		}
 		if e.newPhys != noReg {
 			m.freeList = append(m.freeList, e.newPhys)
 			m.prfReady[e.newPhys] = false
@@ -793,11 +917,18 @@ func (m *Machine) squashAfter(idx int, why string) {
 		if e.isStore {
 			m.sqCnt--
 		}
-		m.policy.OnSquashEntry(m, e)
+		m.polOnSquashEntry(e)
 		m.Stats.Squashed++
 	}
 	m.alCnt = idx + 1
-	m.alTail = (m.alHead + m.alCnt) % len(m.al)
+	m.alTail = m.alHead + m.alCnt
+	if m.alTail >= len(m.al) {
+		m.alTail -= len(m.al)
+	}
+	// Squashes are rare: rather than tracking which issued entries died,
+	// reset the completion horizon; the next complete walk recomputes it.
+	m.nextDone = m.cycle
+	m.progressed = true
 
 	// Rebuild the RMT: committed mappings plus surviving allocations.
 	m.rmt = m.amt
@@ -824,6 +955,7 @@ func (m *Machine) retireStage() {
 	for retired < m.Cfg.Width && m.alCnt > 0 && !m.halted && m.fault == nil {
 		e := m.alAt(0)
 		if e.stallTillHead && !e.reissued {
+			m.progressed = true
 			if e.isStore {
 				m.reissueStoreAtHead(e)
 			} else {
@@ -834,6 +966,7 @@ func (m *Machine) retireStage() {
 		if e.st != stDone || e.done > m.cycle {
 			return
 		}
+		m.progressed = true
 		if e.fault != nil {
 			m.deliverFault(e)
 			return
@@ -882,7 +1015,10 @@ func (m *Machine) retireStage() {
 				Complete: e.done, Retire: m.cycle,
 			})
 		}
-		m.alHead = (m.alHead + 1) % len(m.al)
+		m.alHead++
+		if m.alHead == len(m.al) {
+			m.alHead = 0
+		}
 		m.alCnt--
 		retired++
 		if m.retiredThisCycle == 0 {
@@ -929,8 +1065,7 @@ func (m *Machine) reissueAtHead(e *alEntry) {
 	}
 	lat += m.Hier.LoadLatency(paddr)
 	m.writeDest(e, m.readMem(paddr, e.memBytes))
-	e.st = stIssued
-	e.done = m.cycle + uint64(lat)
+	m.markIssued(e, m.cycle+uint64(lat))
 	m.loadHook(e, lat)
 }
 
@@ -942,6 +1077,9 @@ func (m *Machine) reissueStoreAtHead(e *alEntry) {
 	e.reissued = true
 	e.stallTillHead = false
 	e.issueCyc = m.cycle
+	// The withheld address resolves now — either published below or the
+	// entry faults; both leave the disambiguation scan nothing to find.
+	m.sqUnresolved--
 	m.emit(trace.Event{Kind: trace.KindHeadReplay, Seq: e.seq, PC: e.pc, Note: "store"})
 	paddr, pte, err := m.AS.Translate(e.vaddr, mem.Write)
 	if err != nil {
@@ -956,8 +1094,7 @@ func (m *Machine) reissueStoreAtHead(e *alEntry) {
 		return
 	}
 	e.addrReady = true
-	e.st = stIssued
-	e.done = m.cycle + 1
+	m.markIssued(e, m.cycle+1)
 	m.checkMemOrder(0)
 }
 
@@ -1023,7 +1160,7 @@ func (m *Machine) deliverFault(e *alEntry) {
 // flushAndRedirect empties the pipeline (fault recovery) and restarts fetch.
 func (m *Machine) flushAndRedirect(pc uint64) {
 	m.squashAfter(-1, "fault")
-	m.fq = m.fq[:0]
+	m.fqClear()
 	m.pc = pc
 	m.fetchStopped = false
 	m.fetchStallTo = 0

@@ -53,7 +53,7 @@ func (m *Machine) StatsRegistry() *stats.Registry {
 	r.Counter("pipeline.cpi.memory", "cycles the oldest instruction waited on memory", func() uint64 { return s.CPI.Memory })
 	r.Counter("pipeline.cpi.squash_recovery", "post-squash refill bubbles", func() uint64 { return s.CPI.SquashRecovery })
 
-	r.AttachHistogram("pipeline.load_latency", "observed load latency (cycles)", m.loadLat)
+	r.HistogramFunc("pipeline.load_latency", "observed load latency (cycles)", m.loadLatValue)
 
 	r.Gauge("pipeline.inflight", "occupied active-list entries", func() float64 { return float64(m.alCnt) })
 	r.Gauge("pipeline.free_regs", "free physical registers", func() float64 { return float64(len(m.freeList)) })

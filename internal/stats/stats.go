@@ -109,6 +109,24 @@ func (r *Registry) AttachHistogram(name, desc string, h *Histogram) {
 	r.add(&entry{name: name, desc: desc, kind: KindHistogram, hist: h})
 }
 
+// histFunc adapts a snapshot-time builder to histSource, for histograms whose
+// observing hot path keeps plain integer counters and only materializes a
+// HistValue when a snapshot asks for one (the pipeline's batched load-latency
+// counters).
+type histFunc func() HistValue
+
+func (f histFunc) value() *HistValue {
+	v := f()
+	return &v
+}
+
+// HistogramFunc registers a histogram materialized on demand by fn. fn must
+// return a HistValue with len(Counts) == len(Bounds)+1 (the last bucket is
+// the overflow bucket), exactly as a Histogram snapshot would.
+func (r *Registry) HistogramFunc(name, desc string, fn func() HistValue) {
+	r.add(&entry{name: name, desc: desc, kind: KindHistogram, hist: histFunc(fn)})
+}
+
 // AttachSyncHistogram registers a concurrency-safe histogram. Use it when
 // the observing goroutines are not the snapshotting goroutine (e.g. the
 // server's worker pool observed from a concurrent /v1/metrics scrape).
