@@ -33,9 +33,10 @@ race-core:
 	$(GO) test -race ./internal/stats ./internal/trace ./internal/pipeline
 
 # The service layer under the race detector: queue, worker pool, cache,
-# dedup, and the HTTP/streaming handlers all share state across goroutines.
+# dedup, the HTTP/streaming handlers, and the span flight recorder all share
+# state across goroutines.
 race-server:
-	$(GO) test -race ./internal/server/...
+	$(GO) test -race ./internal/server/... ./internal/otrace
 
 # Chaos drill: the fault-injection framework's own tests, the client's
 # retry/backoff/resubmission suite, and the chaos + deadline + cache-race

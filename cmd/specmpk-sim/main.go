@@ -26,6 +26,10 @@
 //	                      pkey-audit tables after the run
 //	-cpuprofile FILE      pprof CPU profile of the simulator process itself
 //	-memprofile FILE      pprof heap profile at exit (after a GC)
+//	-traceparent H        join a W3C trace; -trace-out and -profile-out
+//	                      artifacts are stamped with the trace ID (a fresh
+//	                      one is minted when unset), so a file on disk links
+//	                      back to the request or sweep that produced it
 //
 // All output paths are opened before the simulation starts, so a bad path
 // fails immediately instead of after minutes of simulated execution.
@@ -40,6 +44,7 @@ import (
 
 	"specmpk/internal/asm"
 	"specmpk/internal/isa"
+	"specmpk/internal/otrace"
 	"specmpk/internal/perf"
 	"specmpk/internal/pipeline"
 	"specmpk/internal/pipeview"
@@ -76,8 +81,26 @@ func main() {
 		annotate      = flag.Bool("annotate", false, "print the annotated disassembly, top-PC table and pkey audit ledger after the run")
 		cpuprofile    = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to `file`")
 		memprofile    = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
+		traceparent   = flag.String("traceparent", "", "W3C traceparent to join; run artifacts are stamped with its trace ID (malformed = fresh root)")
 	)
 	flag.Parse()
+
+	// Resolve the run's trace identity: join the propagated trace when a
+	// well-formed -traceparent arrives, otherwise mint a fresh root whenever
+	// any artifact will need stamping. The ID ties -trace-out/-profile-out
+	// files back to the request (or sweep) that produced them.
+	var runTrace string
+	if *traceparent != "" || *traceOut != "" || *profileOut != "" {
+		if sc, ok := otrace.ParseTraceparent(*traceparent); ok {
+			runTrace = sc.Trace.String()
+		} else {
+			if *traceparent != "" {
+				fmt.Fprintf(os.Stderr, "specmpk-sim: warning: malformed -traceparent %q; starting a fresh trace\n", *traceparent)
+			}
+			runTrace = otrace.NewTraceID().String()
+		}
+		fmt.Fprintf(os.Stderr, "specmpk-sim: trace %s\n", runTrace)
+	}
 
 	if *list {
 		for _, p := range workload.Catalog() {
@@ -242,6 +265,13 @@ func main() {
 	}
 	if out.trace != nil {
 		if err := finishOut(out.trace, func(f *os.File) error {
+			// First line is run metadata — the trace ID that links this
+			// artifact to the request that produced it; event rows follow.
+			if err := json.NewEncoder(f).Encode(struct {
+				TraceID string `json:"traceID"`
+			}{runTrace}); err != nil {
+				return err
+			}
 			return trace.WriteJSONL(f, m.Events.Events())
 		}); err != nil {
 			fatal(err)
@@ -257,10 +287,11 @@ func main() {
 				enc := json.NewEncoder(f)
 				enc.SetIndent("", "  ")
 				return enc.Encode(struct {
-					Mode   string              `json:"mode"`
-					Report *profile.Report     `json:"profile"`
-					Audit  []profile.LedgerRow `json:"audit"`
-				}{cfg.Mode.String(), rep, ledger.Rows()})
+					TraceID string              `json:"traceID,omitempty"`
+					Mode    string              `json:"mode"`
+					Report  *profile.Report     `json:"profile"`
+					Audit   []profile.LedgerRow `json:"audit"`
+				}{runTrace, cfg.Mode.String(), rep, ledger.Rows()})
 			}); err != nil {
 				fatal(err)
 			}

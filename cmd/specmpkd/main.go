@@ -9,6 +9,7 @@
 //	specmpkd [-addr :8351] [-j N] [-queue 256] [-cache 512]
 //	         [-event-interval 1000000] [-max-cycles 500000000]
 //	         [-max-wall-ms 0] [-drain-timeout 2m] [-faults plan.json] [-pprof]
+//	         [-span-buf 4096] [-log-level info] [-log-format text]
 //
 // API (see internal/server):
 //
@@ -18,6 +19,17 @@
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/metrics          Prometheus metrics (server.* namespace)
 //	GET    /v1/healthz          liveness + uptime/version/worker-pool JSON
+//	GET    /v1/debug/spans      span flight recorder (?trace= ?job= ?format=chrome)
+//
+// Observability: every request is traced end to end. Clients propagate a
+// W3C traceparent header (or the daemon mints a fresh root), each job leaves
+// one span per lifecycle stage — job, cache.lookup, queue.wait, dedup.wait,
+// simulate, marshal — in a bounded in-memory flight recorder sized by
+// -span-buf (0 disables tracing entirely), and GET /v1/debug/spans dumps it,
+// filterable by trace or job ID, or as Chrome trace-event JSON
+// (?format=chrome) loadable in Perfetto. Logs are structured (log/slog):
+// -log-level picks the threshold (debug|info|warn|error), -log-format picks
+// text or json; job-scoped lines carry trace_id and job_id.
 //
 // With -pprof the daemon additionally serves the standard net/http/pprof
 // endpoints under /debug/pprof/ (profile, heap, goroutine, trace, ...) for
@@ -41,7 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
@@ -54,31 +66,61 @@ import (
 	"specmpk/internal/server"
 )
 
+// buildLogger constructs the daemon's structured logger from the -log-level
+// and -log-format flags (stderr, like the log package it replaces).
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", ":8351", "listen address")
-		workers  = flag.Int("j", 0, "worker-pool size (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 256, "bounded queue size; beyond it submits get 503")
-		cache    = flag.Int("cache", 512, "result-cache entries (negative disables caching)")
-		interval = flag.Uint64("event-interval", 1_000_000, "progress-event cadence in simulated cycles")
-		maxCyc   = flag.Uint64("max-cycles", 500_000_000, "default per-job cycle budget (job timeout)")
-		maxWall  = flag.Uint64("max-wall-ms", 0, "default per-job wall-clock budget in ms (0 = unlimited); exceeding it fails the job")
-		drain    = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for in-flight jobs")
-		faultsAt = flag.String("faults", "", "arm a fault-injection plan from this JSON file (staging/chaos drills only)")
-		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (self-profiling; do not expose publicly)")
+		addr      = flag.String("addr", ":8351", "listen address")
+		workers   = flag.Int("j", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 256, "bounded queue size; beyond it submits get 503")
+		cache     = flag.Int("cache", 512, "result-cache entries (negative disables caching)")
+		interval  = flag.Uint64("event-interval", 1_000_000, "progress-event cadence in simulated cycles")
+		maxCyc    = flag.Uint64("max-cycles", 500_000_000, "default per-job cycle budget (job timeout)")
+		maxWall   = flag.Uint64("max-wall-ms", 0, "default per-job wall-clock budget in ms (0 = unlimited); exceeding it fails the job")
+		drain     = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for in-flight jobs")
+		faultsAt  = flag.String("faults", "", "arm a fault-injection plan from this JSON file (staging/chaos drills only)")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (self-profiling; do not expose publicly)")
+		spanBuf   = flag.Int("span-buf", 4096, "span flight-recorder capacity (completed spans kept for /v1/debug/spans; 0 disables tracing)")
+		logLevel  = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log encoding: text|json")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specmpkd: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if *faultsAt != "" {
 		plan, err := faults.LoadFile(*faultsAt)
 		if err != nil {
-			log.Fatalf("specmpkd: %v", err)
+			logger.Error("fault plan load failed", "path", *faultsAt, "err", err)
+			os.Exit(1)
 		}
 		if err := faults.Arm(plan); err != nil {
-			log.Fatalf("specmpkd: %v", err)
+			logger.Error("fault plan arm failed", "path", *faultsAt, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("specmpkd: FAULT INJECTION ARMED from %s (%d rules, seed %d) — not for production",
-			*faultsAt, len(plan.Rules), plan.Seed)
+		logger.Warn("FAULT INJECTION ARMED — not for production",
+			"path", *faultsAt, "rules", len(plan.Rules), "seed", plan.Seed)
 	}
 
 	s := server.New(server.Options{
@@ -88,6 +130,8 @@ func main() {
 		EventInterval: *interval,
 		MaxCycles:     *maxCyc,
 		MaxWallMS:     *maxWall,
+		SpanBuffer:    *spanBuf,
+		Logger:        logger,
 	})
 
 	// The job API is the default handler; -pprof mounts the standard profiling
@@ -103,12 +147,13 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 		mux.Handle("/", s)
 		handler = mux
-		log.Printf("specmpkd: pprof self-profiling enabled at /debug/pprof/")
+		logger.Info("pprof self-profiling enabled", "path", "/debug/pprof/")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("specmpkd: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	hs := &http.Server{
 		Handler: handler,
@@ -120,7 +165,8 @@ func main() {
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("specmpkd: listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"span_buf", *spanBuf, "log_level", *logLevel, "log_format", *logFormat)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -130,9 +176,10 @@ func main() {
 
 	select {
 	case got := <-sig:
-		log.Printf("specmpkd: %s: draining (timeout %s)", got, *drain)
+		logger.Info("draining", "signal", got.String(), "timeout", drain.String())
 	case err := <-serveErr:
-		log.Fatalf("specmpkd: serve: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -140,10 +187,10 @@ func main() {
 	// Drain the job pool first (completing in-flight work), then close the
 	// HTTP side; status/event requests keep working while jobs finish.
 	if err := s.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "specmpkd: drain incomplete, stragglers cancelled: %v\n", err)
+		logger.Warn("drain incomplete, stragglers cancelled", "err", err)
 	}
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "specmpkd: http shutdown: %v\n", err)
+		logger.Warn("http shutdown", "err", err)
 	}
-	log.Printf("specmpkd: drained, exiting")
+	logger.Info("drained, exiting")
 }

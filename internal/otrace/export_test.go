@@ -1,0 +1,128 @@
+package otrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenSpans is a fixed two-trace flight-recorder dump: trace aaaa… holds a
+// full job lifecycle (job root + simulate child with one event), trace bbbb…
+// a lone cache-hit job. Absolute wall-clock values cancel out in the export
+// (timestamps are relative to the earliest start), so the output is stable.
+func goldenSpans() []SpanData {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return []SpanData{
+		{
+			TraceID: strings.Repeat("aa", 16), SpanID: strings.Repeat("01", 8),
+			Name: "job", Start: t0, End: t0.Add(5 * time.Millisecond), DurMS: 5,
+			Attrs: map[string]any{"job_id": "j-000001", "state": "done"},
+		},
+		{
+			TraceID: strings.Repeat("aa", 16), SpanID: strings.Repeat("02", 8),
+			ParentID: strings.Repeat("01", 8),
+			Name:     "simulate", Start: t0.Add(time.Millisecond), End: t0.Add(4 * time.Millisecond), DurMS: 3,
+			Status: "error",
+			Attrs:  map[string]any{"error": "boom"},
+			Events: []SpanEvent{{
+				Time: t0.Add(2 * time.Millisecond), Name: "fault_injected",
+				Attrs: map[string]any{"point": "server.worker.simulate"},
+			}},
+		},
+		{
+			TraceID: strings.Repeat("bb", 16), SpanID: strings.Repeat("03", 8),
+			Name: "job", Start: t0.Add(6 * time.Millisecond), End: t0.Add(6*time.Millisecond + 100*time.Microsecond), DurMS: 0.1,
+			Attrs: map[string]any{"job_id": "j-000002", "cache": "hit"},
+		},
+	}
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome export drifted from the golden file.\ngot:\n%s\nwant:\n%s\n(run with -update if intentional)", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	tids := map[int]bool{}
+	for _, ev := range out.TraceEvents {
+		counts[ev.Ph]++
+		if ev.Ph == "X" {
+			tids[ev.TID] = true
+			if ev.TS < 0 {
+				t.Fatalf("negative relative timestamp %v on %s", ev.TS, ev.Name)
+			}
+		}
+	}
+	// 2 traces -> 2 metadata rows; 3 spans -> 3 "X"; 1 span event -> 1 "i".
+	if counts["M"] != 2 || counts["X"] != 3 || counts["i"] != 1 {
+		t.Fatalf("event mix M=%d X=%d i=%d, want 2/3/1", counts["M"], counts["X"], counts["i"])
+	}
+	if len(tids) != 2 {
+		t.Fatalf("spans landed on %d rows, want one per trace (2)", len(tids))
+	}
+}
+
+func TestWriteJSONLOneRowPerSpan(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL rows = %d, want 3", len(lines))
+	}
+	var sd SpanData
+	if err := json.Unmarshal([]byte(lines[1]), &sd); err != nil {
+		t.Fatal(err)
+	}
+	if sd.Name != "simulate" || sd.Status != "error" {
+		t.Fatalf("row 2 decoded wrong: %+v", sd)
+	}
+}

@@ -1,0 +1,157 @@
+// Package otrace is the request-tracing layer for the specmpkd service
+// path: trace/span identifiers with W3C traceparent propagation, lightweight
+// spans (name, parent, attributes, events, status), a bounded in-memory
+// flight recorder, and exporters (JSONL and Chrome trace-event JSON loadable
+// in Perfetto).
+//
+// It is deliberately not an OpenTelemetry SDK: the service needs exactly one
+// process's worth of spans, retrievable from a ring buffer while the daemon
+// runs, with a disarmed cost of one nil check per seam. Every method on a
+// nil *Span or nil *Recorder is a no-op, so instrumented code calls the
+// seams unconditionally:
+//
+//	sp := rec.StartSpan(parent, "simulate") // nil rec -> nil sp
+//	sp.SetAttr("cycles", n)                 // no-op when disarmed
+//	sp.End()
+//
+// Span identity follows the W3C Trace Context model: a 16-byte trace ID
+// shared by every span of one request, an 8-byte span ID per span, and the
+// parent span ID linking them into a tree. The `traceparent` HTTP header
+// carries the context across the client/daemon boundary.
+package otrace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceID identifies one end-to-end request (16 bytes, hex-rendered).
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace (8 bytes, hex-rendered).
+type SpanID [8]byte
+
+// NewTraceID returns a random non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	mustRand(t[:])
+	return t
+}
+
+// NewSpanID returns a random non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	mustRand(s[:])
+	return s
+}
+
+// mustRand fills b with random bytes, ensuring at least one is non-zero
+// (all-zero IDs are invalid in the W3C model).
+func mustRand(b []byte) {
+	for {
+		if _, err := rand.Read(b); err != nil {
+			panic("otrace: crypto/rand unavailable: " + err.Error())
+		}
+		for _, c := range b {
+			if c != 0 {
+				return
+			}
+		}
+	}
+}
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the trace ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the span ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// SpanContext is the propagated portion of a span: enough to parent a child
+// span in another component (or process) onto the same trace.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// NewRoot returns a fresh root span context: a new trace with a new span ID.
+// Clients use it to originate a trace before the first outbound request.
+func NewRoot() SpanContext {
+	return SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+}
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00, sampled flag set).
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.Trace.String() + "-" + sc.Span.String() + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It returns ok ==
+// false for anything malformed — wrong field count or length, non-hex
+// characters, the forbidden version ff, or all-zero IDs — in which case the
+// caller should fall back to starting a fresh root trace.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	// version(2) "-" trace-id(32) "-" parent-id(16) "-" flags(2)
+	const wantLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+	if len(h) < wantLen || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	ver := h[:2]
+	if !isHex(ver) || ver == "ff" {
+		return SpanContext{}, false
+	}
+	// Version 00 allows no trailing data; future versions may append fields.
+	if len(h) > wantLen && (ver == "00" || h[wantLen] != '-') {
+		return SpanContext{}, false
+	}
+	// hex.Decode would accept uppercase; the header format forbids it.
+	if !isHex(h[3:35]) || !isHex(h[36:52]) {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.Trace[:], []byte(h[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(h[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	if !isHex(h[53:55]) || !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// isHex reports whether s is entirely lowercase hex (the W3C header format
+// forbids uppercase).
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ctxKey keys the span context stored in a context.Context.
+type ctxKey struct{}
+
+// ContextWith returns a context carrying sc, for propagation through call
+// chains that cross the HTTP boundary (the daemon's trace middleware stores
+// the inbound context; the client reads an outbound one).
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext returns the span context carried by ctx, or the zero value.
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

@@ -202,6 +202,13 @@ type JobInfo struct {
 	ID    string `json:"id"`
 	Key   string `json:"key"`
 	State string `json:"state"`
+	// TraceID is the job's request-trace identifier (hex): the trace the
+	// client propagated via the traceparent header, or a daemon-minted root
+	// when none arrived. Every span the job leaves in the flight recorder
+	// (GET /v1/debug/spans?trace=...) and every structured log line about
+	// the job carries it. Empty when the daemon has tracing disabled and no
+	// context was propagated.
+	TraceID string `json:"traceID,omitempty"`
 	// Cached: the job was answered from the content-addressed result cache
 	// without running.
 	Cached bool `json:"cached,omitempty"`

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"specmpk/internal/otrace"
 )
 
 // resultCache is the content-addressed result store: canonical result bytes
@@ -38,9 +40,12 @@ func newResultCache(max int) *resultCache {
 
 // get returns the cached canonical bytes for key, counting the hit or miss.
 // An injected fault at server.cache.get degrades to a miss — a flaky cache
-// must cost a re-simulation, never a failed request.
-func (c *resultCache) get(key string) ([]byte, bool) {
+// must cost a re-simulation, never a failed request — and is recorded as an
+// event on the submit path's cache.lookup span (nil-safe) so a chaos run's
+// forced misses are reconstructable per request.
+func (c *resultCache) get(key string, sp *otrace.Span) ([]byte, bool) {
 	if err := fpCacheGet.Fire(); err != nil {
+		sp.Event("fault_injected", "point", fpCacheGet.Name(), "error", err.Error())
 		c.misses.Add(1)
 		return nil, false
 	}
@@ -64,19 +69,20 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 // entry when full. Re-putting an existing key refreshes its recency (the
 // bytes are identical by construction). An injected fault at
 // server.cache.put skips the fill: the job still succeeds, the next
-// identical spec just re-simulates.
-func (c *resultCache) put(key string, b []byte) {
+// identical spec just re-simulates. The returned disposition string is what
+// the job span carries as its "cache" attribute.
+func (c *resultCache) put(key string, b []byte) string {
 	if err := fpCachePut.Fire(); err != nil {
-		return
+		return "skipped_fault"
 	}
 	if c.max <= 0 {
-		return
+		return "disabled"
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
-		return
+		return "refreshed"
 	}
 	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, bytes: b})
 	for c.lru.Len() > c.max {
@@ -85,6 +91,7 @@ func (c *resultCache) put(key string, b []byte) {
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.evictions.Add(1)
 	}
+	return "filled"
 }
 
 // len returns the current entry count.

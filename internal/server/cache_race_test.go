@@ -37,7 +37,7 @@ func TestCacheHammerPutGetEvict(t *testing.T) {
 				key := fmt.Sprintf("key-%03d", k)
 				if i%3 == 0 {
 					c.put(key, []byte(payload(k)))
-				} else if b, ok := c.get(key); ok && string(b) != payload(k) {
+				} else if b, ok := c.get(key, nil); ok && string(b) != payload(k) {
 					errs <- fmt.Errorf("key %s returned %q, want %q", key, b, payload(k))
 					return
 				}
@@ -145,7 +145,7 @@ func TestCancelledJobNeverPoisonsCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.cache.get(key); ok {
+	if _, ok := s.cache.get(key, nil); ok {
 		t.Fatal("cancelled job's key answers from the cache")
 	}
 	if n := s.cache.len(); n != 0 {

@@ -329,7 +329,7 @@ func TestChaosEverySeamNoJobLost(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cached, ok := s.cache.get(key)
+		cached, ok := s.cache.get(key, nil)
 		if !ok {
 			continue // never completed cleanly under chaos: fine
 		}

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"specmpk/internal/otrace"
 	"specmpk/internal/server/api"
 )
 
@@ -76,10 +77,17 @@ type JobError struct {
 }
 
 func (e *JobError) Error() string {
-	if e.Info.State == api.StateCancelled {
-		return fmt.Sprintf("specmpkd: job %s cancelled", e.Info.ID)
+	// The daemon-reported trace ID rides in the message: it is the handle
+	// into the daemon's flight recorder (GET /v1/debug/spans?trace=...) and
+	// structured logs, so a sweep's failure report is directly actionable.
+	trace := ""
+	if e.Info.TraceID != "" {
+		trace = fmt.Sprintf(" (trace %s)", e.Info.TraceID)
 	}
-	return fmt.Sprintf("specmpkd: job %s failed: %s", e.Info.ID, e.Info.Error)
+	if e.Info.State == api.StateCancelled {
+		return fmt.Sprintf("specmpkd: job %s cancelled%s", e.Info.ID, trace)
+	}
+	return fmt.Sprintf("specmpkd: job %s failed: %s%s", e.Info.ID, e.Info.Error, trace)
 }
 
 // IsUnknownJob reports whether err is the daemon disowning a job id (404) —
@@ -141,6 +149,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the caller's trace context as a W3C traceparent header; the
+	// daemon joins the trace (and echoes the trace ID back in JobInfo).
+	if sc := otrace.FromContext(ctx); sc.Valid() {
+		req.Header.Set("traceparent", sc.Traceparent())
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -198,8 +211,15 @@ func decodeErr(resp *http.Response) error {
 
 // Submit enqueues a job and returns its initial status (terminal already on
 // a cache hit). Transient rejections (503 queue-full/draining, transport
-// errors) are retried — content addressing makes resubmission free.
+// errors) are retried — content addressing makes resubmission free. The
+// submit carries a W3C traceparent header: the caller's span context when
+// ctx holds one, otherwise a fresh root minted here, so every retry of one
+// logical submission lands in the same trace and the daemon's flight
+// recorder can be queried by the returned JobInfo.TraceID.
 func (c *Client) Submit(ctx context.Context, spec api.JobSpec) (api.JobInfo, error) {
+	if !otrace.FromContext(ctx).Valid() {
+		ctx = otrace.ContextWith(ctx, otrace.NewRoot())
+	}
 	var info api.JobInfo
 	err := c.doRetry(ctx, http.MethodPost, "/v1/jobs", spec, &info)
 	return info, err

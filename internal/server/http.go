@@ -4,13 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
 	"time"
 
 	"specmpk/internal/faults"
+	"specmpk/internal/otrace"
 	"specmpk/internal/server/api"
 )
 
@@ -22,6 +23,13 @@ import (
 //	GET    /v1/jobs/{id}/events NDJSON progress stream (replay + live)
 //	GET    /v1/metrics          Prometheus text exposition of server.* metrics
 //	GET    /v1/healthz          liveness + diagnostics (uptime, version, pool size)
+//	GET    /v1/debug/spans      span flight recorder dump (?trace= ?job= ?format=chrome)
+//
+// Every request runs under the middleware chain trace -> recover -> access
+// log: the trace layer parses an inbound W3C traceparent header into the
+// request context (so handleSubmit can root the job's trace in the caller's),
+// the recover layer is the HTTP-side panic boundary, and the access log
+// emits one debug-level line per request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handlerOnce.Do(func() {
 		mux := http.NewServeMux()
@@ -31,9 +39,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 		mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 		mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-		s.handler = s.recoverMiddleware(mux)
+		mux.HandleFunc("GET /v1/debug/spans", s.handleSpans)
+		s.handler = s.traceMiddleware(s.recoverMiddleware(s.accessLogMiddleware(mux)))
 	})
 	s.handler.ServeHTTP(w, r)
+}
+
+// traceMiddleware lifts an inbound W3C traceparent header into the request
+// context. A malformed header is ignored (the job gets a fresh root trace, as
+// the spec requires); no header costs one map-free header lookup.
+func (s *Server) traceMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := r.Header.Get("traceparent"); h != "" {
+			if sc, ok := otrace.ParseTraceparent(h); ok {
+				r = r.WithContext(otrace.ContextWith(r.Context(), sc))
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // recoverMiddleware is the HTTP-side panic boundary (the worker pool has
@@ -53,7 +76,13 @@ func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
 				panic(rec) // deliberate abort: let net/http suppress it
 			}
 			s.panicsRecovered.Add(1)
-			log.Printf("specmpkd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			traceID := ""
+			if sc := otrace.FromContext(r.Context()); sc.Valid() {
+				traceID = sc.Trace.String()
+			}
+			s.logger.Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path, "trace_id", traceID,
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			// Headers may already be gone (mid-stream panic); this is then a
 			// no-op and the client sees a truncated body instead.
 			writeErr(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
@@ -67,6 +96,47 @@ func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
 			return
 		}
 		next.ServeHTTP(w, r)
+	})
+}
+
+// statusRecorder captures the response status for the access log while
+// passing Flush through — the NDJSON event stream depends on it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Flush() {
+	if fl, ok := sr.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// accessLogMiddleware emits one debug-level line per request: method, path,
+// status, duration, and the propagated trace ID (empty for untraced
+// requests). When debug logging is off the request passes straight through —
+// no wrapper allocation, no clock reads.
+func (s *Server) accessLogMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.logger.Enabled(r.Context(), slog.LevelDebug) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sr, r)
+		traceID := ""
+		if sc := otrace.FromContext(r.Context()); sc.Valid() {
+			traceID = sc.Trace.String()
+		}
+		s.logger.Debug("http request",
+			"method", r.Method, "path", r.URL.Path, "status", sr.status,
+			"dur_ms", ms(time.Since(start)), "trace_id", traceID)
 	})
 }
 
@@ -94,7 +164,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	info, err := s.Submit(spec)
+	info, err := s.SubmitTraced(otrace.FromContext(r.Context()), spec)
 	if err != nil {
 		var unavail ErrUnavailable
 		if errors.As(err, &unavail) {
@@ -171,6 +241,37 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.Registry().Snapshot().WritePrometheus(w)
+}
+
+// spansResponse is the default JSON shape of GET /v1/debug/spans.
+type spansResponse struct {
+	Count   int               `json:"count"`
+	Dropped uint64            `json:"dropped"`
+	Spans   []otrace.SpanData `json:"spans"`
+}
+
+// handleSpans dumps the span flight recorder: every completed span still
+// resident in the ring, oldest first. ?trace=<hex> narrows to one trace,
+// ?job=<id> resolves a job ID to its trace(s) via the job_id span attribute,
+// and ?format=chrome renders Chrome trace-event JSON loadable in Perfetto
+// or chrome://tracing instead of the default {count, dropped, spans} object.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		writeErr(w, http.StatusNotFound, errors.New("span recorder disabled (start the daemon with -span-buf > 0)"))
+		return
+	}
+	spans := otrace.FilterSpans(s.rec.Spans(), r.URL.Query().Get("trace"), r.URL.Query().Get("job"))
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = otrace.WriteChrome(w, spans)
+		return
+	}
+	writeJSON(w, http.StatusOK, spansResponse{
+		Count:   len(spans),
+		Dropped: s.rec.Dropped(),
+		Spans:   spans,
+	})
 }
 
 // handleHealthz answers the liveness probe with a diagnostic payload:

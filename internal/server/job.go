@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"specmpk/internal/otrace"
 	"specmpk/internal/server/api"
 )
 
@@ -23,6 +24,24 @@ type execution struct {
 	// immutable, so readable without the mutex. started - queuedAt is the
 	// queue wait the server.latency.queue_wait_ms histogram observes.
 	queuedAt time.Time
+
+	// Tracing. sc is the primary job's span context (zero when tracing is
+	// disarmed): every execution-stage span — queue.wait, simulate, marshal —
+	// parents onto it, so the whole lifecycle lands in the primary trace.
+	// queueSpan opens at enqueue and closes at worker pickup; simSpan is the
+	// worker's simulate span. Both are set before the execution becomes
+	// reachable by the worker (sc/queueSpan) or only touched by the worker
+	// goroutine (simSpan).
+	sc        otrace.SpanContext
+	queueSpan *otrace.Span
+	simSpan   *otrace.Span
+
+	// traceMu guards the cross-goroutine trace annotations below: the worker
+	// writes them mid-run while Cancel/onExecutionDone may read them when
+	// ending the attached jobs' spans.
+	traceMu    sync.Mutex
+	stopReason string
+	cacheDisp  string // result-cache disposition: hit|filled|refreshed|skipped_fault|uncacheable|disabled
 
 	mu       sync.Mutex
 	state    string
@@ -170,6 +189,25 @@ func (ex *execution) subscribe() (<-chan api.Event, func()) {
 	}
 }
 
+// setTrace records the worker-side trace annotations for the job spans.
+func (ex *execution) setTrace(stopReason, cacheDisp string) {
+	ex.traceMu.Lock()
+	defer ex.traceMu.Unlock()
+	if stopReason != "" {
+		ex.stopReason = stopReason
+	}
+	if cacheDisp != "" {
+		ex.cacheDisp = cacheDisp
+	}
+}
+
+// traceInfo reads the worker-side trace annotations.
+func (ex *execution) traceInfo() (stopReason, cacheDisp string) {
+	ex.traceMu.Lock()
+	defer ex.traceMu.Unlock()
+	return ex.stopReason, ex.cacheDisp
+}
+
 // job is one accepted submission: a client-visible handle onto an execution.
 type job struct {
 	id        string
@@ -178,6 +216,12 @@ type job struct {
 	deduped   bool
 	submitted time.Time
 	exec      *execution
+
+	// traceID is the job's request trace (hex, "" when untraced); span is
+	// the job's root span, open from submit to terminal state (nil when the
+	// flight recorder is disarmed).
+	traceID string
+	span    *otrace.Span
 }
 
 // info renders the job's current JobInfo.
@@ -186,6 +230,7 @@ func (j *job) info() api.JobInfo {
 	inf := api.JobInfo{
 		ID:          j.id,
 		Key:         j.key,
+		TraceID:     j.traceID,
 		State:       state,
 		Cached:      j.cached,
 		Deduped:     j.deduped,

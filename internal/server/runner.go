@@ -21,6 +21,8 @@ func (s *Server) runExecutionContained(ex *execution) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panicsRecovered.Add(1)
+			s.logger.Error("panic contained in worker pool",
+				"trace_id", ex.sc.Trace.String(), "key", ex.key, "panic", fmt.Sprint(r))
 			if ex.finish(api.StateFailed, fmt.Sprintf("panic: %v\n%s", r, debug.Stack()), nil, 0, 0) {
 				s.jobsFailed.Add(1)
 			}
@@ -35,6 +37,8 @@ func (s *Server) runExecutionContained(ex *execution) {
 // runExecution is one worker's handling of one execution: simulate in
 // event-interval chunks, publish progress, resolve the terminal state, and
 // do the server-side bookkeeping (metrics, cache fill, single-flight slot).
+// The queue.wait and simulate stage spans close here with exactly the
+// durations the matching server.latency.* histograms observe.
 func (s *Server) runExecution(ex *execution) {
 	if !ex.start() {
 		// Cancelled while queued; Cancel already resolved it.
@@ -42,36 +46,52 @@ func (s *Server) runExecution(ex *execution) {
 	}
 	s.running.Add(1)
 	t0 := time.Now()
-	s.lat.queueWait.Observe(ms(t0.Sub(ex.queuedAt)))
+	queueWait := t0.Sub(ex.queuedAt)
+	s.lat.queueWait.Observe(ms(queueWait))
+	ex.queueSpan.EndAt(ex.queuedAt.Add(queueWait))
+	ex.simSpan = s.rec.StartSpanAt(ex.sc, "simulate", t0)
 	state, errMsg, result, cycle, insts := s.simulateContained(ex)
 	s.running.Add(-1)
-	s.lat.simulate.Observe(ms(time.Since(t0)))
+	simDur := time.Since(t0)
+	s.lat.simulate.Observe(ms(simDur))
+	ex.simSpan.SetAttr("state", state)
+	ex.simSpan.SetAttr("cycles", cycle)
+	ex.simSpan.SetAttr("insts", insts)
+	if errMsg != "" {
+		ex.simSpan.SetError(errMsg)
+	}
+	ex.simSpan.EndAt(t0.Add(simDur))
 	if !ex.finish(state, errMsg, result, cycle, insts) {
 		return // lost the race with Cancel; it did the bookkeeping
 	}
-	s.wallMSTotal.Add(uint64(time.Since(t0).Milliseconds()))
+	s.wallMSTotal.Add(uint64(simDur.Milliseconds()))
 	switch state {
 	case api.StateDone:
 		s.jobsDone.Add(1)
 		// Only a clean, deterministic completion reaches the cache: failed
 		// (including deadline-exceeded and panicking) and cancelled runs
 		// never produce result bytes, so they can never poison it.
-		s.cache.put(ex.key, result)
+		ex.setTrace("", s.cache.put(ex.key, result))
 	case api.StateFailed:
 		s.jobsFailed.Add(1)
+		ex.setTrace("", "uncacheable")
 	case api.StateCancelled:
 		s.jobsCancelled.Add(1)
+		ex.setTrace("", "uncacheable")
 	}
 	s.onExecutionDone(ex)
 }
 
 // simulateContained runs the simulation itself under a recover, so a panic
 // inside the pipeline (or injected at server.worker.simulate) becomes a
-// failed-job outcome with the panic value and stack in the error.
+// failed-job outcome with the panic value and stack in the error — and a
+// panic_recovered event on the simulate span, so a chaos run's contained
+// panics are reconstructable per request.
 func (s *Server) simulateContained(ex *execution) (state, errMsg string, result []byte, cycle, insts uint64) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panicsRecovered.Add(1)
+			ex.simSpan.Event("panic_recovered", "panic", fmt.Sprint(r))
 			state = api.StateFailed
 			errMsg = fmt.Sprintf("panic: %v\n%s", r, debug.Stack())
 			result = nil
@@ -129,6 +149,7 @@ func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, c
 	}
 
 	if ferr := fpWorkerSimulate.Fire(); ferr != nil {
+		ex.simSpan.Event("fault_injected", "point", fpWorkerSimulate.Name(), "error", ferr.Error())
 		return api.StateFailed, ferr.Error(), nil, 0, 0
 	}
 
@@ -148,11 +169,14 @@ func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, c
 		case runErr == nil, st.Stop == pipeline.StopFault:
 			// Halt and fault are both terminal simulation outcomes; the
 			// result records which via stopReason.
-			return buildResult(ex, m)
+			return s.buildResult(ex, m)
 		case st.Stop == pipeline.StopCancelled:
+			ex.setTrace(string(st.Stop), "")
 			return api.StateCancelled, runErr.Error(), nil, st.Cycles, st.Insts
 		case st.Stop == pipeline.StopDeadline:
 			s.jobsDeadline.Add(1)
+			ex.setTrace(string(st.Stop), "")
+			ex.simSpan.Event("deadline_exceeded", "wall_ms", wallMS, "cycle", st.Cycles)
 			return api.StateFailed,
 				fmt.Sprintf("deadline: wall-clock budget (%d ms) exceeded at cycle %d", wallMS, st.Cycles),
 				nil, st.Cycles, st.Insts
@@ -162,7 +186,7 @@ func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, c
 				// below the next chunk boundary, so no further progress is
 				// possible. Either way the budget, not the program, ended
 				// the run.
-				return buildResult(ex, m)
+				return s.buildResult(ex, m)
 			}
 			dc, di := st.Cycles-prevCycle, st.Insts-prevInsts
 			ipc := 0.0
@@ -178,14 +202,21 @@ func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, c
 }
 
 // buildResult marshals the machine's final state into the canonical result
-// bytes. The encoding is deterministic (fixed struct field order, sorted map
-// keys), so identical specs produce bit-identical result bytes — the
-// property the content-addressed cache returns verbatim.
-func buildResult(ex *execution, m *pipeline.Machine) (state, errMsg string, result []byte, cycle, insts uint64) {
+// bytes under a marshal span (the last lifecycle stage). The encoding is
+// deterministic (fixed struct field order, sorted map keys), so identical
+// specs produce bit-identical result bytes — the property the
+// content-addressed cache returns verbatim.
+func (s *Server) buildResult(ex *execution, m *pipeline.Machine) (state, errMsg string, result []byte, cycle, insts uint64) {
 	st := m.Stats
+	ex.setTrace(string(st.Stop), "")
+	mt := time.Now()
+	msp := s.rec.StartSpanAt(ex.simSpan.Context(), "marshal", mt)
 	// An injected marshal fault (error or drop alike) fails the job: a
 	// result that cannot be encoded cannot be partially delivered.
 	if ferr := fpResultMarshal.Fire(); ferr != nil {
+		msp.Event("fault_injected", "point", fpResultMarshal.Name(), "error", ferr.Error())
+		msp.SetError(ferr.Error())
+		msp.End()
 		return api.StateFailed, fmt.Sprintf("marshal result: %v", ferr), nil, st.Cycles, st.Insts
 	}
 	res := api.Result{
@@ -198,7 +229,12 @@ func buildResult(ex *execution, m *pipeline.Machine) (state, errMsg string, resu
 	}
 	b, err := json.Marshal(res)
 	if err != nil {
+		msp.SetError(err.Error())
+		msp.End()
 		return api.StateFailed, fmt.Sprintf("marshal result: %v", err), nil, st.Cycles, st.Insts
 	}
+	msp.SetAttr("bytes", len(b))
+	msp.SetAttr("stop_reason", string(st.Stop))
+	msp.End()
 	return api.StateDone, "", b, st.Cycles, st.Insts
 }

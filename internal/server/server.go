@@ -12,6 +12,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"specmpk/internal/faults"
+	"specmpk/internal/otrace"
 	"specmpk/internal/server/api"
 	"specmpk/internal/stats"
 )
@@ -64,6 +66,14 @@ type Options struct {
 	// RetainJobs bounds how many finished job records stay queryable; the
 	// oldest are forgotten first (0 = 4096).
 	RetainJobs int
+	// SpanBuffer sizes the span flight recorder: completed request spans
+	// land in a bounded ring dumpable via GET /v1/debug/spans. 0 disables
+	// tracing entirely — the disarmed state, where every trace seam costs
+	// one nil check and no IDs are generated.
+	SpanBuffer int
+	// Logger receives the server's structured logs (nil = slog.Default()).
+	// Every job-scoped line carries trace_id and job_id.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +147,10 @@ type Server struct {
 	cache   *resultCache
 	started time.Time
 	lat     latencies
+	// rec is the span flight recorder; nil when Options.SpanBuffer == 0
+	// (tracing disarmed — the nil check per seam is the whole cost).
+	rec    *otrace.Recorder
+	logger *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -170,11 +184,17 @@ type Server struct {
 func New(opt Options) *Server {
 	opt = opt.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	logger := opt.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	s := &Server{
 		opt:        opt,
 		cache:      newResultCache(opt.CacheEntries),
 		started:    time.Now(),
 		lat:        newLatencies(),
+		rec:        otrace.NewRecorder(opt.SpanBuffer),
+		logger:     logger,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *execution, opt.QueueSize),
@@ -194,12 +214,21 @@ type ErrUnavailable struct{ Reason string }
 
 func (e ErrUnavailable) Error() string { return "server unavailable: " + e.Reason }
 
-// Submit validates and accepts one job. The fast paths never simulate:
-// a result-cache hit resolves immediately, and a spec identical to an
-// in-flight execution attaches to it (single-flight). Otherwise the job's
-// execution enters the bounded queue, or the submit is rejected with
-// ErrUnavailable when the queue is full or the server is draining.
+// Submit validates and accepts one job with no propagated trace context —
+// the in-process entry point (tests, the perf harness). See SubmitTraced.
 func (s *Server) Submit(spec api.JobSpec) (api.JobInfo, error) {
+	return s.SubmitTraced(otrace.SpanContext{}, spec)
+}
+
+// SubmitTraced validates and accepts one job, rooting its request trace at
+// parent (the span context propagated via the W3C traceparent header; the
+// zero value starts a fresh root when tracing is armed). The fast paths
+// never simulate: a result-cache hit resolves immediately, and a spec
+// identical to an in-flight execution attaches to it (single-flight).
+// Otherwise the job's execution enters the bounded queue, or the submit is
+// rejected with ErrUnavailable when the queue is full or the server is
+// draining.
+func (s *Server) SubmitTraced(parent otrace.SpanContext, spec api.JobSpec) (api.JobInfo, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
 		return api.JobInfo{}, err
@@ -230,16 +259,43 @@ func (s *Server) Submit(spec api.JobSpec) (api.JobInfo, error) {
 		key:       key,
 		submitted: time.Now(),
 	}
+	// Root the job's trace: armed recorders always span the job (joining the
+	// propagated trace or minting a fresh root); a disarmed recorder still
+	// echoes a propagated trace ID so cross-process correlation survives
+	// even when this daemon keeps no spans.
+	if s.rec != nil {
+		j.span = s.rec.StartSpanAt(parent, "job", j.submitted)
+		j.traceID = j.span.TraceID()
+		j.span.SetAttr("job_id", j.id)
+		j.span.SetAttr("key", key)
+		j.span.SetAttr("mode", norm.Mode)
+		if norm.Workload != "" {
+			j.span.SetAttr("workload", norm.Workload)
+		} else {
+			j.span.SetAttr("program", "asm")
+		}
+	} else if parent.Valid() {
+		j.traceID = parent.Trace.String()
+	}
 
 	lookupStart := time.Now()
-	b, hit := s.cache.get(key)
-	s.lat.cacheLookup.Observe(ms(time.Since(lookupStart)))
+	lsp := s.rec.StartSpanAt(j.span.Context(), "cache.lookup", lookupStart)
+	b, hit := s.cache.get(key, lsp)
+	lookupDur := time.Since(lookupStart)
+	s.lat.cacheLookup.Observe(ms(lookupDur))
+	lsp.SetAttr("hit", hit)
+	lsp.EndAt(lookupStart.Add(lookupDur))
 	if hit {
 		j.cached = true
 		j.exec = resolvedExecution(key, norm, b)
 		s.registerLocked(j)
 		s.retireLocked(j.id)
-		s.lat.e2e.Observe(ms(time.Since(j.submitted)))
+		e2e := time.Since(j.submitted)
+		s.lat.e2e.Observe(ms(e2e))
+		j.span.SetAttr("state", api.StateDone)
+		j.span.SetAttr("cached", true)
+		j.span.SetAttr("cache", "hit")
+		j.span.EndAt(j.submitted.Add(e2e))
 		return j.info(), nil
 	}
 	if ex, ok := s.inflight[key]; ok {
@@ -247,10 +303,20 @@ func (s *Server) Submit(spec api.JobSpec) (api.JobInfo, error) {
 		j.exec = ex
 		s.deduped.Add(1)
 		s.registerLocked(j)
+		j.span.SetAttr("deduped", true)
+		if ex.sc.Valid() {
+			// The simulate/queue spans live in the primary job's trace;
+			// link this trace to it so the dedup is reconstructable.
+			j.span.SetAttr("primary_trace", ex.sc.Trace.String())
+		}
 		return j.info(), nil
 	}
 
 	ex := newExecution(s.baseCtx, key, norm)
+	// Arm the execution's trace seams before it can reach a worker: stage
+	// spans parent onto this (primary) job's span.
+	ex.sc = j.span.Context()
+	ex.queueSpan = s.rec.StartSpanAt(ex.sc, "queue.wait", ex.queuedAt)
 	select {
 	case s.queue <- ex:
 	default:
@@ -324,8 +390,11 @@ func (s *Server) Subscribe(id string) (<-chan api.Event, func(), bool) {
 }
 
 // onExecutionDone clears the single-flight slot and retires the execution's
-// attached jobs into the retention window.
+// attached jobs into the retention window, closing each job's root span with
+// its terminal state and emitting one structured log line per job.
 func (s *Server) onExecutionDone(ex *execution) {
+	state, errMsg, _, _, _ := ex.snapshot()
+	stopReason, cacheDisp := ex.traceInfo()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.inflight[ex.key] == ex {
@@ -348,7 +417,24 @@ func (s *Server) onExecutionDone(ex *execution) {
 				s.lat.e2e.Observe(ms(wait))
 				if j.deduped {
 					s.lat.dedupWait.Observe(ms(wait))
+					dsp := s.rec.StartSpanAt(j.span.Context(), "dedup.wait", j.submitted)
+					dsp.EndAt(j.submitted.Add(wait))
 				}
+				j.span.SetAttr("state", state)
+				if stopReason != "" {
+					j.span.SetAttr("stop_reason", stopReason)
+				}
+				if cacheDisp != "" {
+					j.span.SetAttr("cache", cacheDisp)
+				}
+				if errMsg != "" {
+					j.span.SetError(errMsg)
+				}
+				j.span.EndAt(j.submitted.Add(wait))
+				s.logger.Debug("job finished",
+					"job_id", id, "trace_id", j.traceID, "key", j.key,
+					"state", state, "stop_reason", stopReason,
+					"deduped", j.deduped, "e2e_ms", ms(wait))
 			}
 		}
 	}
@@ -398,6 +484,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // QueueDepth returns the number of executions waiting for a worker.
 func (s *Server) QueueDepth() int { return len(s.queue) }
 
+// SpanRecorder returns the span flight recorder, nil when tracing is
+// disarmed (Options.SpanBuffer == 0).
+func (s *Server) SpanRecorder() *otrace.Recorder { return s.rec }
+
 // Registry returns the server's metrics registry ("server.*" namespace),
 // building it on first use. Safe to snapshot concurrently with running
 // workers: every metric reads through an atomic.
@@ -421,6 +511,8 @@ func (s *Server) Registry() *stats.Registry {
 		r.Gauge("server.queue.depth", "executions waiting for a worker", func() float64 { return float64(len(s.queue)) })
 		r.Gauge("server.queue.capacity", "bounded queue capacity", func() float64 { return float64(s.opt.QueueSize) })
 		r.Gauge("server.workers", "worker-pool size", func() float64 { return float64(s.opt.Workers) })
+		r.Gauge("server.spans.resident", "spans resident in the flight recorder", func() float64 { return float64(s.rec.Len()) })
+		r.Gauge("server.spans.dropped", "spans overwritten in the flight-recorder ring", func() float64 { return float64(s.rec.Dropped()) })
 		r.AttachSyncHistogram("server.latency.queue_wait_ms", "queued -> picked up by a worker (ms)", s.lat.queueWait)
 		r.AttachSyncHistogram("server.latency.dedup_wait_ms", "deduped job submit -> primary execution finished (ms)", s.lat.dedupWait)
 		r.AttachSyncHistogram("server.latency.simulate_ms", "simulation wall time on the worker (ms)", s.lat.simulate)

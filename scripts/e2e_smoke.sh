@@ -63,6 +63,40 @@ for H in server_latency_e2e_ms server_latency_simulate_ms server_latency_queue_w
     fi
 done
 
+echo "== span flight recorder"
+SPANS=$(curl -fsS "http://$ADDR/v1/debug/spans")
+echo "$SPANS" | grep -q '"name": "job"' || {
+    echo "FAIL: /v1/debug/spans holds no job spans after real traffic" >&2
+    exit 1
+}
+# Stage agreement: one simulate span per simulate-histogram observation
+# (span EndAt and histogram Observe derive from the same measured duration,
+# so the counts must match exactly).
+SIM_SPANS=$(echo "$SPANS" | grep -c '"name": "simulate"' || true)
+SIM_OBS=$(echo "$METRICS" | awk '$1 == "server_latency_simulate_ms_count" { print $2 }')
+if [ "${SIM_SPANS:-0}" -ne "${SIM_OBS:-0}" ]; then
+    echo "FAIL: $SIM_SPANS simulate spans vs $SIM_OBS histogram observations" >&2
+    exit 1
+fi
+# A recorded trace ID must resolve through the ?trace= filter.
+TRACE=$(echo "$SPANS" | grep -o '"traceID": "[0-9a-f]\{32\}"' | head -1 | cut -d'"' -f4)
+if [ -z "${TRACE:-}" ]; then
+    echo "FAIL: no trace ID found in the span dump" >&2
+    exit 1
+fi
+curl -fsS "http://$ADDR/v1/debug/spans?trace=$TRACE" | grep -q "$TRACE" || {
+    echo "FAIL: trace $TRACE did not resolve via ?trace=" >&2
+    exit 1
+}
+# The Perfetto-loadable export (kept when PERFETTO_OUT names a path, e.g. to
+# upload as a CI artifact).
+PERFETTO=${PERFETTO_OUT:-$BIN/spans_perfetto.json}
+curl -fsS "http://$ADDR/v1/debug/spans?format=chrome" > "$PERFETTO"
+grep -q '"traceEvents"' "$PERFETTO" || {
+    echo "FAIL: chrome export is missing traceEvents" >&2
+    exit 1
+}
+
 echo "== SIGKILL mid-job: client must recover via resubmission"
 # A mode not simulated above, so the job cannot be a cache hit and must be
 # in flight (or still being submitted) when the daemon dies.
@@ -94,4 +128,4 @@ if kill -0 "$PID" 2>/dev/null; then
 fi
 wait "$PID" || { echo "FAIL: specmpkd exited non-zero" >&2; exit 1; }
 
-echo "PASS: e2e smoke (cold run, cache hit, SIGKILL recovery, clean drain)"
+echo "PASS: e2e smoke (cold run, cache hit, spans, SIGKILL recovery, clean drain)"
