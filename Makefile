@@ -28,9 +28,12 @@ race:
 	$(GO) test -race ./...
 
 # The observability core under the race detector: the stats registry,
-# trace ring, and the pipeline (profiler/audit hooks included).
+# trace ring, the pipeline (profiler/audit hooks included), and the sampled
+# path's foundations — immutable simpoint plans/checkpoints are shared across
+# concurrent restores, so funcsim + simpoint belong under -race too.
 race-core:
-	$(GO) test -race ./internal/stats ./internal/trace ./internal/pipeline
+	$(GO) test -race ./internal/stats ./internal/trace ./internal/pipeline \
+		./internal/funcsim ./internal/simpoint
 
 # The service layer under the race detector: queue, worker pool, cache,
 # dedup, the HTTP/streaming handlers, and the span flight recorder all share

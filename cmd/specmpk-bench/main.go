@@ -83,7 +83,9 @@ func realMain() int {
 		r.Workloads = strings.Split(*workloads, ",")
 	}
 	if *remote != "" {
-		r.Sim = experiments.RemoteSim(client.New(*remote))
+		c := client.New(*remote)
+		r.Sim = experiments.RemoteSim(c)
+		r.Client = c
 	}
 	if *modes != "" {
 		for _, name := range strings.Split(*modes, ",") {
@@ -211,6 +213,10 @@ experiments:
   window   instruction-window sweep on the densest workload (extension)
   pkrusafe unsafe-library heap isolation overhead (extension; Section III-B)
   rdpkru   pkey_set read-modify-write vs load-immediate updates (Section V-C6)
+  sampled  SimPoint sampled-vs-full CPI error and wall-clock speedup per
+           workload×policy (paper §VII methodology); with -remote the cells
+           run as sampled-fidelity jobs on the daemon (parallel intervals,
+           shared profile cache)
   stats    unified metrics registry + CPI-stack per workload×mode, sweeping
            every registered policy incl. delayupgrade/noforward (with -json:
            every pipeline/cache/tlb/bpred metric per row; restrict via -modes)
@@ -308,6 +314,12 @@ func run(r experiments.Runner, name string) error {
 			return err
 		}
 		fmt.Print(experiments.RenderRdpkru(rows))
+	case "sampled":
+		rows, err := experiments.Sampled(r)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSampled(rows))
 	case "stats":
 		rows, err := experiments.StatsRows(r)
 		if err != nil {
@@ -329,7 +341,7 @@ func run(r experiments.Runner, name string) error {
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "fig3", "fig4",
 			"fig9", "fig10", "fig11", "fig13", "hwcost", "vdom", "window",
-			"pkrusafe", "rdpkru", "stats", "profile"} {
+			"pkrusafe", "rdpkru", "sampled", "stats", "profile"} {
 			if err := run(r, e); err != nil {
 				return err
 			}

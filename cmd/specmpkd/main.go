@@ -6,10 +6,16 @@
 //
 // Usage:
 //
-//	specmpkd [-addr :8351] [-j N] [-queue 256] [-cache 512]
+//	specmpkd [-addr :8351] [-j N] [-queue 256] [-cache 512] [-profile-cache 64]
 //	         [-event-interval 1000000] [-max-cycles 500000000]
 //	         [-max-wall-ms 0] [-drain-timeout 2m] [-faults plan.json] [-pprof]
 //	         [-span-buf 4096] [-log-level info] [-log-format text]
+//
+// Jobs default to full fidelity; a spec with "fidelity": "sampled" runs the
+// SimPoint path instead — profile once (cached by profile key, sized by
+// -profile-cache), simulate the representative intervals in parallel across
+// the worker pool, and answer with an extrapolated result carrying an error
+// bound.
 //
 // API (see internal/server):
 //
@@ -90,6 +96,7 @@ func main() {
 		workers   = flag.Int("j", 0, "worker-pool size (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 256, "bounded queue size; beyond it submits get 503")
 		cache     = flag.Int("cache", 512, "result-cache entries (negative disables caching)")
+		profCache = flag.Int("profile-cache", 64, "sampled-job profile-cache entries (plans; negative disables)")
 		interval  = flag.Uint64("event-interval", 1_000_000, "progress-event cadence in simulated cycles")
 		maxCyc    = flag.Uint64("max-cycles", 500_000_000, "default per-job cycle budget (job timeout)")
 		maxWall   = flag.Uint64("max-wall-ms", 0, "default per-job wall-clock budget in ms (0 = unlimited); exceeding it fails the job")
@@ -124,14 +131,15 @@ func main() {
 	}
 
 	s := server.New(server.Options{
-		Workers:       *workers,
-		QueueSize:     *queue,
-		CacheEntries:  *cache,
-		EventInterval: *interval,
-		MaxCycles:     *maxCyc,
-		MaxWallMS:     *maxWall,
-		SpanBuffer:    *spanBuf,
-		Logger:        logger,
+		Workers:             *workers,
+		QueueSize:           *queue,
+		CacheEntries:        *cache,
+		ProfileCacheEntries: *profCache,
+		EventInterval:       *interval,
+		MaxCycles:           *maxCyc,
+		MaxWallMS:           *maxWall,
+		SpanBuffer:          *spanBuf,
+		Logger:              logger,
 	})
 
 	// The job API is the default handler; -pprof mounts the standard profiling

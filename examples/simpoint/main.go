@@ -1,7 +1,10 @@
-// SimPoint example: the paper's simulation methodology (§VII) end to end —
-// profile a workload into basic-block-vector intervals, cluster them with
-// k-means, simulate the representative of each cluster with functional
-// warming, and compare the weighted IPC against full detailed simulation.
+// SimPoint example: the paper's simulation methodology (§VII) end to end,
+// on the checkpointed plan API the simulation service uses — profile a
+// workload into basic-block-vector intervals, cluster them with k-means,
+// capture a restorable checkpoint at each representative interval, warm-start
+// a detailed machine from every checkpoint, and recombine the weighted CPI
+// into a whole-program estimate with an error bound, compared against full
+// detailed simulation.
 //
 //	go run ./examples/simpoint
 package main
@@ -22,20 +25,34 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One profiling pass: BBV intervals, k-means clustering, and a checkpoint
+	// at each representative. The plan is config-independent — the same plan
+	// (this is what specmpkd caches by profile key) warm-starts a machine for
+	// every policy in a sweep.
 	spCfg := simpoint.Config{IntervalLen: 10_000, MaxInsts: 1_000_000, K: 5, Seed: 1}
-	intervals, err := simpoint.Profile(prog, spCfg)
+	plan, err := simpoint.BuildPlan(prog, spCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	points := simpoint.Choose(intervals, spCfg)
 	fmt.Printf("profiled %d intervals of %d instructions; chose %d simulation points:\n",
-		len(intervals), spCfg.IntervalLen, len(points))
-	for _, pt := range points {
-		fmt.Printf("  interval %3d  weight %.2f\n", pt.Interval.Index, pt.Weight)
+		plan.Intervals, spCfg.IntervalLen, len(plan.Points))
+	for i, pt := range plan.Points {
+		cp := plan.Checkpoints[i]
+		fmt.Printf("  interval %3d  weight %.2f  checkpoint: %d dirty pages, %d warm records\n",
+			pt.Interval.Index, pt.Weight, len(cp.Pages), len(cp.Warm))
 	}
 
+	// Detailed simulation of just the representatives: each point restores
+	// its checkpoint into a fresh machine (registers, PKRU, touched-memory
+	// delta, RAS + warm-up replay) and runs one interval.
 	mcfg := pipeline.DefaultConfig()
-	spIPC, _, err := simpoint.Evaluate(prog, mcfg, spCfg)
+	stats := make([]pipeline.Stats, len(plan.Points))
+	for i := range plan.Points {
+		if stats[i], err = plan.SimulatePoint(i, mcfg, prog); err != nil {
+			log.Fatal(err)
+		}
+	}
+	est, err := plan.Estimate(stats)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,10 +64,15 @@ func main() {
 	if err := full.Run(200_000_000); err != nil {
 		log.Fatal(err)
 	}
+	fullCPI := float64(full.Stats.Cycles) / float64(full.Stats.Insts)
 
-	fmt.Printf("\nweighted SimPoint IPC: %.3f\n", spIPC)
-	fmt.Printf("full-simulation IPC:   %.3f\n", full.Stats.IPC())
+	fmt.Printf("\nsampled CPI estimate:  %.3f ± %.0f%% (IPC %.3f)\n",
+		est.CPI, 100*est.ErrorBound, est.IPC)
+	fmt.Printf("full-simulation CPI:   %.3f (IPC %.3f)\n", fullCPI, full.Stats.IPC())
+	fmt.Printf("measured error:        %+.1f%%\n", 100*(est.CPI-fullCPI)/fullCPI)
 	fmt.Println("\n(The paper profiles the first 100 G instructions at 100 M-instruction")
 	fmt.Println("granularity and simulates the top five intervals; this is the same")
-	fmt.Println("pipeline at laptop scale.)")
+	fmt.Println("pipeline at laptop scale. specmpkd runs it as a service: submit a job")
+	fmt.Println(`with "fidelity": "sampled" and the daemon profiles once, fans the`)
+	fmt.Println("intervals across its worker pool, and answers with this estimate.)")
 }

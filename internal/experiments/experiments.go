@@ -18,6 +18,7 @@ import (
 	"specmpk/internal/hwcost"
 	"specmpk/internal/isolation"
 	"specmpk/internal/pipeline"
+	"specmpk/internal/server/client"
 	"specmpk/internal/textplot"
 	"specmpk/internal/workload"
 )
@@ -49,6 +50,10 @@ type Runner struct {
 	// density counts (fig10), the attack PoC (fig13), the per-PC profiler —
 	// always run locally regardless.
 	Sim SimFunc
+	// Client, when set, lets experiments that speak the job API directly
+	// (the sampled-fidelity comparison) submit whole jobs to a daemon
+	// instead of adapting through the SimFunc seam.
+	Client *client.Client
 }
 
 func (r Runner) workers() int {

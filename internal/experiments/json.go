@@ -54,6 +54,8 @@ func RowsFor(r Runner, name string) (any, error) {
 		return WindowSweep(r, "")
 	case "pkrusafe":
 		return PKRUSafe(r)
+	case "sampled":
+		return Sampled(r)
 	case "stats":
 		return StatsRows(r)
 	case "profile":

@@ -80,6 +80,10 @@ type Machine struct {
 	// OnInst, when set, observes every retired instruction (SimPoint
 	// profiling, tracing). pc is the instruction's address.
 	OnInst func(t *Thread, pc uint64, in isa.Inst)
+	// OnStore, when set, observes every architecturally completed store with
+	// its virtual address (checkpoint dirty-page tracking). It fires after
+	// the bytes land, only for stores that did not fault.
+	OnStore func(t *Thread, vaddr uint64)
 	// FaultHandler, when set, is consulted on pkey/protection/page faults.
 	FaultHandler func(t *Thread, f *mem.Fault) FaultAction
 }
@@ -233,6 +237,9 @@ func (m *Machine) Step(t *Thread) error {
 			m.AS.Phys.Write64(paddr, rs2)
 		} else {
 			m.AS.Phys.Write8(paddr, byte(rs2))
+		}
+		if m.OnStore != nil {
+			m.OnStore(t, vaddr)
 		}
 	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
 		m.Stats.Branches++

@@ -16,6 +16,11 @@
 //     worker pool, cold (every spec distinct, full simulation) and cache-hit
 //     (identical resubmission answered from the content-addressed cache),
 //     plus latency-histogram quantiles from the server registry.
+//   - Sampled fidelity: per workload×policy, one full-fidelity run-to-halt
+//     job against one SimPoint sampled job on the same live pool. The first
+//     sampled cell pays the profiling pass; later policies reuse it through
+//     the profile cache, which is where the service-scale speedup shows up
+//     (service.sampled_speedup.*).
 //
 // The flat map keys make Diff trivial: compare metric-by-metric, flag
 // regressions beyond a threshold (perfdiff in cmd/specmpk-bench).
@@ -106,6 +111,17 @@ type Options struct {
 	ServiceJobCycles uint64
 	// Workers sizes the service worker pool (0 = GOMAXPROCS).
 	Workers int
+	// SampledWorkload is the workload for the sampled-fidelity section
+	// ("" = 505.mcf_r, the longest-running catalogue program — the regime
+	// where sampling pays).
+	SampledWorkload string
+	// SampledModes restricts the sampled-fidelity policy sweep (nil = the
+	// paper's headline trio: serialized, specmpk, nonsecure). Order matters:
+	// the first cell builds the profile, the rest reuse the cached plan.
+	SampledModes []string
+	// SampledParams overrides the sampled jobs' SimPoint parameters
+	// (nil = api.DefaultSampledParams).
+	SampledParams *api.SampledParams
 	// GitSHA overrides provenance detection (tests; build environments
 	// without VCS stamping).
 	GitSHA string
@@ -136,6 +152,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.SampledWorkload == "" {
+		o.SampledWorkload = "505.mcf_r"
+	}
+	if len(o.SampledModes) == 0 {
+		o.SampledModes = []string{"serialized", "specmpk", "nonsecure"}
 	}
 	if o.GitSHA == "" {
 		o.GitSHA = gitSHA()
@@ -172,6 +194,9 @@ func Run(opts Options) (*Bench, error) {
 		return nil, err
 	}
 	if err := runServiceSection(opts, b); err != nil {
+		return nil, err
+	}
+	if err := runSampledSection(opts, b); err != nil {
 		return nil, err
 	}
 	// Round every metric to a stable number of significant digits: the raw
@@ -343,6 +368,74 @@ func runServiceSection(opts Options, b *Bench) error {
 		}
 	}
 	return nil
+}
+
+// runSampledSection measures what the sampled-fidelity path buys at the
+// service level: per policy, one full-fidelity run-to-halt job against one
+// SimPoint sampled job on a fresh worker pool. Jobs run one at a time so each
+// cell's wall clock is its own (the sampled job still fans its intervals out
+// across the idle workers — that parallelism is part of what is being
+// measured). The first sampled cell pays the profiling pass; subsequent
+// policies hit the profile cache, the amortized regime a policy sweep runs in.
+func runSampledSection(opts Options, b *Bench) error {
+	srv := server.New(server.Options{
+		Workers:       opts.Workers,
+		QueueSize:     16,
+		EventInterval: 100_000_000, // progress events are not what's measured
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	for _, mode := range opts.SampledModes {
+		full := api.JobSpec{Workload: opts.SampledWorkload, Mode: mode}
+		fullSec, err := runOneJob(srv, full)
+		if err != nil {
+			return fmt.Errorf("perf: sampled section, full %s/%s: %w", opts.SampledWorkload, mode, err)
+		}
+		sampled := api.JobSpec{
+			Workload: opts.SampledWorkload,
+			Mode:     mode,
+			Fidelity: api.FidelitySampled,
+			Sampled:  opts.SampledParams,
+		}
+		sampledSec, err := runOneJob(srv, sampled)
+		if err != nil {
+			return fmt.Errorf("perf: sampled section, sampled %s/%s: %w", opts.SampledWorkload, mode, err)
+		}
+		cell := opts.SampledWorkload + "." + mode
+		b.Metrics["service.jobs_per_sec.full_fidelity."+cell] = 1 / fullSec
+		b.Metrics["service.jobs_per_sec.sampled."+cell] = 1 / sampledSec
+		b.Metrics["service.sampled_speedup."+cell] = fullSec / sampledSec
+	}
+	return nil
+}
+
+// runOneJob submits one spec on an otherwise idle server and waits it out,
+// returning its wall time in seconds.
+func runOneJob(srv *server.Server, spec api.JobSpec) (float64, error) {
+	t0 := time.Now()
+	info, err := srv.Submit(spec)
+	if err != nil {
+		return 0, err
+	}
+	ch, cancel, ok := srv.Subscribe(info.ID)
+	if !ok {
+		return 0, fmt.Errorf("job %s vanished", info.ID)
+	}
+	for range ch {
+	}
+	cancel()
+	elapsed := time.Since(t0)
+	final, _ := srv.Job(info.ID)
+	if final.State != api.StateDone {
+		return 0, fmt.Errorf("job %s finished %s: %s", info.ID, final.State, final.Error)
+	}
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("job %s: empty wall time", info.ID)
+	}
+	return elapsed.Seconds(), nil
 }
 
 // runServicePass submits every spec and waits for all of them, returning the

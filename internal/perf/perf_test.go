@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"specmpk/internal/pipeline"
+	"specmpk/internal/server/api"
 )
 
 // smallOpts keeps a test capture in the hundreds of milliseconds: one
@@ -19,6 +20,9 @@ func smallOpts() Options {
 		ServiceJobs:      4,
 		ServiceJobCycles: 20_000,
 		Workers:          2,
+		SampledWorkload:  "548.exchange2_r",
+		SampledModes:     []string{"specmpk", "serialized"},
+		SampledParams:    &api.SampledParams{IntervalLen: 5_000, MaxInsts: 100_000, K: 3, Seed: 1},
 		GitSHA:           "deadbeef",
 		Now:              func() time.Time { return time.Unix(1700000000, 0) },
 	}
@@ -72,6 +76,20 @@ func TestRunEmitsAllPoliciesAndServiceMetrics(t *testing.T) {
 	// The latency quantiles rode along from the server registry.
 	if _, ok := b.Metrics["service.latency.e2e_p50_ms"]; !ok {
 		t.Error("service.latency.e2e_p50_ms missing")
+	}
+
+	// The sampled-fidelity section produced one cell per requested policy.
+	for _, mode := range []string{"specmpk", "serialized"} {
+		cell := "548.exchange2_r." + mode
+		for _, metric := range []string{
+			"service.jobs_per_sec.full_fidelity." + cell,
+			"service.jobs_per_sec.sampled." + cell,
+			"service.sampled_speedup." + cell,
+		} {
+			if v, ok := b.Metrics[metric]; !ok || v <= 0 {
+				t.Errorf("%s = %g (present %v), want > 0", metric, v, ok)
+			}
+		}
 	}
 }
 

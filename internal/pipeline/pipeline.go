@@ -754,6 +754,18 @@ func (m *Machine) SetArchState(regs *[isa.NumRegs]uint64, pkru mpk.PKRU, pc uint
 	m.pc = pc
 }
 
+// WarmRAS seeds the return-address stack from a checkpointed call stack,
+// oldest frame first, and re-anchors the baseline RAS checkpoint so squashes
+// rewind to the warmed stack rather than an empty one. Like SetArchState it
+// is only meaningful before the first Step — it is the RAS half of a SimPoint
+// checkpoint restore (the branch-history half replays through Predictors).
+func (m *Machine) WarmRAS(stack []uint64) {
+	for _, addr := range stack {
+		m.ras.Push(addr)
+	}
+	m.rasCkpts[m.rasCur] = m.ras.Checkpoint()
+}
+
 // InFlight returns the number of active-list entries currently occupied.
 func (m *Machine) InFlight() int { return m.alCnt }
 

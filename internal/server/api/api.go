@@ -19,6 +19,7 @@ import (
 
 	"specmpk/internal/asm"
 	"specmpk/internal/pipeline"
+	"specmpk/internal/simpoint"
 	"specmpk/internal/workload"
 )
 
@@ -26,7 +27,26 @@ import (
 // part of every cache key: bump it whenever a change makes previously cached
 // results stale (new pipeline behaviour, workload generator changes, result
 // schema changes).
-const Version = "specmpk-sim/1"
+//
+// specmpk-sim/2: the fidelity knob (sampled SimPoint jobs) joined the spec's
+// canonical form and Result grew the sampled section.
+const Version = "specmpk-sim/2"
+
+// Fidelity values for JobSpec.Fidelity.
+const (
+	// FidelityFull runs the whole program on the detailed machine — the
+	// classic job path.
+	FidelityFull = "full"
+	// FidelitySampled runs the SimPoint methodology instead: profile the
+	// program functionally, simulate only the representative intervals in
+	// detail (fanned out across the worker pool), and extrapolate
+	// whole-program CPI with an error bound.
+	FidelitySampled = "sampled"
+)
+
+// StopSampled is the stop reason sampled results report: no single machine
+// ran the program end to end, so none of the pipeline's stop reasons apply.
+const StopSampled = "sampled"
 
 // JobSpec is a simulation request. Exactly one of Workload and Asm selects
 // the program.
@@ -60,6 +80,62 @@ type JobSpec struct {
 	// cycles fit in a wall-clock window depends on the host, so a partial
 	// result would not be deterministic and is never cached.
 	MaxWallMS uint64 `json:"maxWallMS,omitempty"`
+	// Fidelity selects the methodology: FidelityFull ("" = full) runs the
+	// whole program in detail; FidelitySampled profiles the program once,
+	// simulates only its representative SimPoint intervals in detail (fanned
+	// out across the server's worker pool), and extrapolates whole-program
+	// CPI with an error bound. Fidelity is part of the cache key: sampled and
+	// full results never answer for each other.
+	Fidelity string `json:"fidelity,omitempty"`
+	// Sampled tunes the sampled methodology (nil = defaults). Only valid
+	// when Fidelity is "sampled".
+	Sampled *SampledParams `json:"sampled,omitempty"`
+}
+
+// SampledParams tunes a sampled-fidelity job. Zero fields take the defaults
+// (DefaultSampledParams); Normalize materializes them, so the cache key sees
+// only explicit values.
+type SampledParams struct {
+	// IntervalLen is the SimPoint interval length in instructions.
+	IntervalLen uint64 `json:"intervalLen,omitempty"`
+	// MaxInsts bounds the profiling pass.
+	MaxInsts uint64 `json:"maxInsts,omitempty"`
+	// K is the number of clusters (representative intervals simulated).
+	K int `json:"k,omitempty"`
+	// Seed makes the clustering deterministic.
+	Seed int64 `json:"seed,omitempty"`
+	// WarmInsts is the per-checkpoint warm-up log depth in instructions.
+	WarmInsts uint64 `json:"warmInsts,omitempty"`
+	// Audit additionally runs the program at full fidelity and reports the
+	// measured sampled-vs-full CPI error next to the predicted bound. It
+	// costs what a full job costs — a validation tool, not a production
+	// setting.
+	Audit bool `json:"audit,omitempty"`
+}
+
+// DefaultSampledParams mirrors simpoint.DefaultConfig with the warm-up depth
+// spelled out: 20 k-instruction intervals over the first 1 M instructions,
+// 5 clusters, seed 1.
+func DefaultSampledParams() SampledParams {
+	c := simpoint.DefaultConfig()
+	return SampledParams{
+		IntervalLen: c.IntervalLen,
+		MaxInsts:    c.MaxInsts,
+		K:           c.K,
+		Seed:        c.Seed,
+		WarmInsts:   simpoint.DefaultWarmInsts,
+	}
+}
+
+// SimPointConfig converts the params to the simpoint package's config.
+func (p SampledParams) SimPointConfig() simpoint.Config {
+	return simpoint.Config{
+		IntervalLen: p.IntervalLen,
+		MaxInsts:    p.MaxInsts,
+		K:           p.K,
+		Seed:        p.Seed,
+		WarmInsts:   p.WarmInsts,
+	}
 }
 
 // Normalize validates the spec and returns its canonical form: program
@@ -107,6 +183,47 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	// canonical form carries the policy by name only.
 	cfg.Mode = 0
 	out.Config = &cfg
+
+	switch s.Fidelity {
+	case "", FidelityFull:
+		out.Fidelity = FidelityFull
+		if s.Sampled != nil {
+			return out, fmt.Errorf("api: sampled params apply to sampled-fidelity jobs only")
+		}
+	case FidelitySampled:
+		out.Fidelity = FidelitySampled
+		sp := DefaultSampledParams()
+		if s.Sampled != nil {
+			o := *s.Sampled
+			if o.IntervalLen != 0 {
+				sp.IntervalLen = o.IntervalLen
+			}
+			if o.MaxInsts != 0 {
+				sp.MaxInsts = o.MaxInsts
+			}
+			if o.K != 0 {
+				sp.K = o.K
+			}
+			if o.Seed != 0 {
+				sp.Seed = o.Seed
+			}
+			if o.WarmInsts != 0 {
+				sp.WarmInsts = o.WarmInsts
+			}
+			sp.Audit = o.Audit
+		}
+		switch {
+		case sp.IntervalLen < 1000:
+			return out, fmt.Errorf("api: sampled intervalLen %d too short (minimum 1000)", sp.IntervalLen)
+		case sp.K < 1:
+			return out, fmt.Errorf("api: sampled k must be positive")
+		case sp.MaxInsts < sp.IntervalLen:
+			return out, fmt.Errorf("api: sampled maxInsts %d below one interval (%d)", sp.MaxInsts, sp.IntervalLen)
+		}
+		out.Sampled = &sp
+	default:
+		return out, fmt.Errorf("api: unknown fidelity %q (want %q or %q)", s.Fidelity, FidelityFull, FidelitySampled)
+	}
 	return out, nil
 }
 
@@ -125,6 +242,58 @@ func (s JobSpec) Key() (string, error) {
 	h := sha256.New()
 	h.Write([]byte(Version))
 	h.Write([]byte{'\n'})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// profileIdentity is exactly what a sampled job's profiling pass depends on:
+// the program and the profiling parameters. The machine config, the mode and
+// the audit flag only affect detailed simulation, so they are deliberately
+// absent — two sampled specs with equal profile keys share one cached plan.
+type profileIdentity struct {
+	Workload    string `json:"workload,omitempty"`
+	Asm         string `json:"asm,omitempty"`
+	Variant     string `json:"variant,omitempty"`
+	Seed        int64  `json:"seed,omitempty"`
+	IntervalLen uint64 `json:"intervalLen"`
+	MaxInsts    uint64 `json:"maxInsts"`
+	K           int    `json:"k"`
+	ClusterSeed int64  `json:"clusterSeed"`
+	WarmInsts   uint64 `json:"warmInsts"`
+}
+
+// ProfileKey returns the content-addressed identity of a sampled job's
+// profiling product (the simpoint plan: chosen points plus checkpoints).
+// It is a strict reduction of the job key: everything that does not change
+// the profile — machine config, policy mode, cycle/wall budgets, the audit
+// flag — is excluded, which is what lets a policy sweep over one workload
+// reuse a single cached profile.
+func (s JobSpec) ProfileKey() (string, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return "", err
+	}
+	if n.Fidelity != FidelitySampled {
+		return "", fmt.Errorf("api: profile keys apply to sampled-fidelity jobs")
+	}
+	id := profileIdentity{
+		Workload:    n.Workload,
+		Asm:         n.Asm,
+		Variant:     n.Variant,
+		Seed:        n.Seed,
+		IntervalLen: n.Sampled.IntervalLen,
+		MaxInsts:    n.Sampled.MaxInsts,
+		K:           n.Sampled.K,
+		ClusterSeed: n.Sampled.Seed,
+		WarmInsts:   n.Sampled.WarmInsts,
+	}
+	b, err := json.Marshal(id)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(Version))
+	h.Write([]byte("\nprofile\n"))
 	h.Write(b)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
@@ -245,8 +414,58 @@ type Result struct {
 	StopReason string         `json:"stopReason"`
 	Stats      pipeline.Stats `json:"stats"`
 	// Metrics is the machine's full unified stats-registry snapshot
-	// (stats.Snapshot.Flat).
+	// (stats.Snapshot.Flat). Sampled results carry a small synthesized map
+	// instead (sampled.* entries) — there is no single machine to snapshot.
 	Metrics map[string]any `json:"metrics"`
+	// Sampled is the sampled-fidelity section: the extrapolation, its error
+	// bound and the per-interval evidence. Present exactly when StopReason is
+	// "sampled".
+	Sampled *SampledResult `json:"sampled,omitempty"`
+}
+
+// SampledPoint is one representative interval's detailed simulation inside a
+// sampled result.
+type SampledPoint struct {
+	// Index is the interval's position in the profiled execution.
+	Index uint64 `json:"index"`
+	// Weight is the fraction of profiled intervals its cluster covers.
+	Weight float64 `json:"weight"`
+	// Cycles/Insts/CPI are the interval's detailed-simulation measurements.
+	Cycles uint64  `json:"cycles"`
+	Insts  uint64  `json:"insts"`
+	CPI    float64 `json:"cpi"`
+}
+
+// SampledResult is the sampled-fidelity extrapolation: what was profiled,
+// which intervals stood for the whole program, and the weighted recombination
+// with its error bound. Its JSON form is deterministic — a sampled job is as
+// cacheable and byte-reproducible as a full one.
+type SampledResult struct {
+	// Params are the normalized sampling parameters the job ran under.
+	Params SampledParams `json:"params"`
+	// ProfileKey identifies the profiling product (JobSpec.ProfileKey);
+	// sampled jobs sharing it shared — or could have shared — one plan.
+	ProfileKey string `json:"profileKey"`
+	// Intervals is how many intervals the profile produced; TotalInsts is
+	// the instruction count the extrapolation covers.
+	Intervals  int    `json:"intervals"`
+	TotalInsts uint64 `json:"totalInsts"`
+	// Points are the representative intervals, heaviest cluster first.
+	Points []SampledPoint `json:"points"`
+	// CPI/IPC are the cluster-weighted whole-program estimates, and
+	// EstimatedCycles the extrapolated cycle count (CPI * TotalInsts).
+	CPI             float64 `json:"cpi"`
+	IPC             float64 `json:"ipc"`
+	EstimatedCycles uint64  `json:"estimatedCycles"`
+	// ErrorBound is the relative half-width of the CPI confidence interval:
+	// the full-fidelity CPI is expected within CPI * (1 ± ErrorBound).
+	ErrorBound float64 `json:"errorBound"`
+	// Audit fields, present when Params.Audit requested a full-fidelity
+	// comparison run: the measured CPI, the measured relative error of the
+	// sampled estimate against it, and the audit run's stop reason.
+	AuditCPI        float64 `json:"auditCPI,omitempty"`
+	AuditErr        float64 `json:"auditErr,omitempty"`
+	AuditStopReason string  `json:"auditStopReason,omitempty"`
 }
 
 // Healthz is the /v1/healthz diagnostic payload: enough to tell which

@@ -175,3 +175,180 @@ func TestResultJSONDeterministic(t *testing.T) {
 		t.Fatalf("metrics keys not sorted: %s", b1)
 	}
 }
+
+func TestFidelityKeysSeparateSampledFromFull(t *testing.T) {
+	full := JobSpec{Workload: "541.leela_r", Mode: "specmpk"}
+	sampled := full
+	sampled.Fidelity = FidelitySampled
+	kFull, err := full.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kSampled, err := sampled.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kFull == kSampled {
+		t.Fatal("sampled and full specs hash to the same key")
+	}
+	// Explicit "full" is the default spelled out — same key as implicit.
+	explicit := full
+	explicit.Fidelity = FidelityFull
+	kExplicit, err := explicit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kExplicit != kFull {
+		t.Fatal("explicit fidelity=full changed the key")
+	}
+	// Explicit default sampled params are the defaults spelled out too.
+	dp := DefaultSampledParams()
+	spelled := sampled
+	spelled.Sampled = &dp
+	kSpelled, err := spelled.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kSpelled != kSampled {
+		t.Fatal("default sampled params spelled out changed the key")
+	}
+}
+
+func TestSampledParamsPerturbTheKey(t *testing.T) {
+	base := JobSpec{Workload: "541.leela_r", Fidelity: FidelitySampled}
+	k0, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{k0: true}
+	perturb := []SampledParams{
+		{IntervalLen: 10_000},
+		{MaxInsts: 2_000_000},
+		{K: 3},
+		{Seed: 7},
+		{WarmInsts: 4096},
+		{Audit: true},
+	}
+	for _, p := range perturb {
+		s := base
+		p := p
+		s.Sampled = &p
+		k, err := s.Key()
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if seen[k] {
+			t.Fatalf("sampled params %+v did not change the key", p)
+		}
+		seen[k] = true
+	}
+}
+
+func TestProfileKeyScopes(t *testing.T) {
+	base := JobSpec{Workload: "541.leela_r", Mode: "specmpk", Fidelity: FidelitySampled}
+	pk, err := base.ProfileKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pk) != 64 {
+		t.Fatalf("profile key %q is not a sha256 hex digest", pk)
+	}
+	jk, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk == jk {
+		t.Fatal("profile key must not collide with the job key")
+	}
+
+	// Things that do NOT change the profile: mode, machine config, budgets,
+	// the audit flag.
+	cfg := pipeline.DefaultConfig()
+	cfg.ROBPkruSize = 2
+	same := []JobSpec{
+		{Workload: "541.leela_r", Mode: "serialized", Fidelity: FidelitySampled},
+		{Workload: "541.leela_r", Mode: "specmpk", Fidelity: FidelitySampled, Config: &cfg},
+		{Workload: "541.leela_r", Mode: "specmpk", Fidelity: FidelitySampled, MaxCycles: 12345},
+		{Workload: "541.leela_r", Mode: "specmpk", Fidelity: FidelitySampled, Sampled: &SampledParams{Audit: true}},
+	}
+	for _, s := range same {
+		k, err := s.ProfileKey()
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		if k != pk {
+			t.Fatalf("spec %+v changed the profile key", s)
+		}
+	}
+
+	// Things that DO change the profile: the program identity and the
+	// profiling parameters.
+	diff := []JobSpec{
+		{Workload: "557.xz_r", Fidelity: FidelitySampled},
+		{Workload: "541.leela_r", Variant: "nop", Fidelity: FidelitySampled},
+		{Workload: "541.leela_r", Seed: 3, Fidelity: FidelitySampled},
+		{Workload: "541.leela_r", Fidelity: FidelitySampled, Sampled: &SampledParams{IntervalLen: 10_000}},
+		{Workload: "541.leela_r", Fidelity: FidelitySampled, Sampled: &SampledParams{K: 2}},
+		{Workload: "541.leela_r", Fidelity: FidelitySampled, Sampled: &SampledParams{Seed: 9}},
+		{Workload: "541.leela_r", Fidelity: FidelitySampled, Sampled: &SampledParams{WarmInsts: 1024}},
+	}
+	seen := map[string]bool{pk: true}
+	for _, s := range diff {
+		k, err := s.ProfileKey()
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		if seen[k] {
+			t.Fatalf("spec %+v should have changed the profile key", s)
+		}
+		seen[k] = true
+	}
+
+	// Full-fidelity specs have no profile.
+	if _, err := (JobSpec{Workload: "541.leela_r"}).ProfileKey(); err == nil {
+		t.Fatal("ProfileKey on a full-fidelity spec should fail")
+	}
+}
+
+func TestNormalizeFidelity(t *testing.T) {
+	n, err := (JobSpec{Workload: "541.leela_r"}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Fidelity != FidelityFull || n.Sampled != nil {
+		t.Fatalf("full normalization: fidelity %q sampled %+v", n.Fidelity, n.Sampled)
+	}
+	n, err = (JobSpec{Workload: "541.leela_r", Fidelity: FidelitySampled}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Sampled == nil {
+		t.Fatal("sampled normalization materialized no params")
+	}
+	if *n.Sampled != DefaultSampledParams() {
+		t.Fatalf("sampled defaults %+v, want %+v", *n.Sampled, DefaultSampledParams())
+	}
+	// Partial overrides keep the remaining defaults.
+	n, err = (JobSpec{Workload: "541.leela_r", Fidelity: FidelitySampled,
+		Sampled: &SampledParams{K: 3}}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Sampled.K != 3 || n.Sampled.IntervalLen != DefaultSampledParams().IntervalLen {
+		t.Fatalf("partial override %+v", *n.Sampled)
+	}
+
+	bad := []JobSpec{
+		{Workload: "541.leela_r", Fidelity: "bogus"},
+		{Workload: "541.leela_r", Sampled: &SampledParams{K: 3}},                                       // params without sampled fidelity
+		{Workload: "541.leela_r", Fidelity: FidelityFull, Sampled: &SampledParams{K: 3}},               // ditto, explicit
+		{Workload: "541.leela_r", Fidelity: FidelitySampled, Sampled: &SampledParams{IntervalLen: 10}}, // too short
+		{Workload: "541.leela_r", Fidelity: FidelitySampled, Sampled: &SampledParams{K: -1}},           // bad k
+		{Workload: "541.leela_r", Fidelity: FidelitySampled, Sampled: &SampledParams{MaxInsts: 5_000}}, // < one interval
+	}
+	for _, s := range bad {
+		if _, err := s.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) should fail", s)
+		}
+	}
+}

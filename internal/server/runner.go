@@ -120,6 +120,9 @@ func (s *Server) simulateContained(ex *execution) (state, errMsg string, result 
 // unbuildable program, injected worker fault).
 func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, cycle, insts uint64) {
 	spec := ex.spec
+	if spec.Fidelity == api.FidelitySampled {
+		return s.runSampled(ex)
+	}
 	cfg, err := spec.MachineConfig()
 	if err != nil {
 		return api.StateFailed, err.Error(), nil, 0, 0

@@ -4,9 +4,12 @@
 // canonical spec hash (internal/server/api), streamed per-job progress
 // events, Prometheus-rendered server metrics, and graceful drain.
 //
-// The simulator itself stays single-threaded per job — the server scales by
-// running independent machines on independent workers, which is exactly how
-// the experiment sweeps parallelize locally.
+// The simulator itself stays single-threaded per machine — the server scales
+// by running independent machines on independent workers, which is exactly
+// how the experiment sweeps parallelize locally. Sampled-fidelity jobs go one
+// step further: they fan their representative intervals out as sub-tasks the
+// same pool's idle workers steal (see sampled.go), so a single sampled job
+// also parallelizes.
 package server
 
 import (
@@ -51,6 +54,11 @@ type Options struct {
 	// CacheEntries bounds the content-addressed result cache
 	// (0 = 512, negative disables caching).
 	CacheEntries int
+	// ProfileCacheEntries bounds the sampled-job profile cache — immutable
+	// simpoint plans (chosen intervals + checkpoints) keyed by
+	// api.JobSpec.ProfileKey, so a policy sweep profiles each workload once
+	// (0 = 64, negative disables).
+	ProfileCacheEntries int
 	// EventInterval is the progress-event cadence in simulated cycles
 	// (0 = 1,000,000).
 	EventInterval uint64
@@ -88,6 +96,12 @@ func (o Options) withDefaults() Options {
 		o.CacheEntries = 0 // disabled
 	case o.CacheEntries == 0:
 		o.CacheEntries = 512
+	}
+	switch {
+	case o.ProfileCacheEntries < 0:
+		o.ProfileCacheEntries = 0 // disabled
+	case o.ProfileCacheEntries == 0:
+		o.ProfileCacheEntries = 64
 	}
 	if o.EventInterval == 0 {
 		o.EventInterval = 1_000_000
@@ -143,10 +157,11 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 // with New and serve its Handler (or mount it — Server implements
 // http.Handler).
 type Server struct {
-	opt     Options
-	cache   *resultCache
-	started time.Time
-	lat     latencies
+	opt      Options
+	cache    *resultCache
+	profiles *profileCache
+	started  time.Time
+	lat      latencies
 	// rec is the span flight recorder; nil when Options.SpanBuffer == 0
 	// (tracing disarmed — the nil check per seam is the whole cost).
 	rec    *otrace.Recorder
@@ -156,7 +171,12 @@ type Server struct {
 	baseCancel context.CancelFunc
 
 	queue chan *execution
-	wg    sync.WaitGroup
+	// subq carries sampled jobs' per-interval sub-tasks. Unlike queue it is
+	// never closed: tasks are claim-run (CAS) with the owning worker as the
+	// fallback runner, so stale entries after a drain are inert and a send
+	// can never hit a closed channel.
+	subq chan *intervalTask
+	wg   sync.WaitGroup
 
 	mu       sync.Mutex
 	draining bool
@@ -172,6 +192,9 @@ type Server struct {
 	jobsCancelled        atomic.Uint64
 	jobsDeadline         atomic.Uint64
 	panicsRecovered      atomic.Uint64
+	sampledJobs          atomic.Uint64
+	sampledIntervals     atomic.Uint64
+	sampledStolen        atomic.Uint64
 	running              atomic.Int64
 	wallMSTotal          atomic.Uint64
 	reg                  *stats.Registry
@@ -191,6 +214,7 @@ func New(opt Options) *Server {
 	s := &Server{
 		opt:        opt,
 		cache:      newResultCache(opt.CacheEntries),
+		profiles:   newProfileCache(opt.ProfileCacheEntries),
 		started:    time.Now(),
 		lat:        newLatencies(),
 		rec:        otrace.NewRecorder(opt.SpanBuffer),
@@ -198,6 +222,7 @@ func New(opt Options) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *execution, opt.QueueSize),
+		subq:       make(chan *intervalTask, opt.QueueSize),
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*execution),
 	}
@@ -440,10 +465,26 @@ func (s *Server) onExecutionDone(ex *execution) {
 	}
 }
 
+// worker serves the job queue and, between jobs, steals sampled jobs'
+// interval sub-tasks — that is how one sampled job's representative
+// intervals end up simulating concurrently across the pool. A worker exits
+// when the job queue closes (drain); any sub-task it leaves behind is
+// claim-run inline by the sampled job that owns it, so the drain never
+// strands work.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for ex := range s.queue {
-		s.runExecutionContained(ex)
+	for {
+		select {
+		case ex, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.runExecutionContained(ex)
+		case t := <-s.subq:
+			if t.claim() {
+				t.run(true)
+			}
+		}
 	}
 }
 
@@ -507,6 +548,12 @@ func (s *Server) Registry() *stats.Registry {
 		r.Counter("server.cache.misses", "result-cache misses", s.cache.misses.Load)
 		r.Counter("server.cache.evictions", "result-cache LRU evictions", s.cache.evictions.Load)
 		r.Gauge("server.cache.entries", "result-cache resident entries", func() float64 { return float64(s.cache.len()) })
+		r.Counter("server.sampled.jobs", "sampled-fidelity executions completed", s.sampledJobs.Load)
+		r.Counter("server.sampled.intervals", "representative intervals simulated in detail", s.sampledIntervals.Load)
+		r.Counter("server.sampled.intervals_stolen", "intervals run by idle pool workers instead of the owning worker", s.sampledStolen.Load)
+		r.Counter("server.sampled.profile_cache_hits", "sampled jobs served an existing profile plan", s.profiles.hits.Load)
+		r.Counter("server.sampled.profile_cache_misses", "sampled jobs that had to build a profile plan", s.profiles.misses.Load)
+		r.Gauge("server.sampled.profile_cache_entries", "profile-cache resident plans", func() float64 { return float64(s.profiles.len()) })
 		r.Gauge("server.jobs.running", "executions currently on a worker", func() float64 { return float64(s.running.Load()) })
 		r.Gauge("server.queue.depth", "executions waiting for a worker", func() float64 { return float64(len(s.queue)) })
 		r.Gauge("server.queue.capacity", "bounded queue capacity", func() float64 { return float64(s.opt.QueueSize) })

@@ -13,14 +13,12 @@ package simpoint
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 
 	"specmpk/internal/asm"
 	"specmpk/internal/funcsim"
 	"specmpk/internal/isa"
-	"specmpk/internal/mem"
-	"specmpk/internal/mpk"
 	"specmpk/internal/pipeline"
 )
 
@@ -38,6 +36,10 @@ type Config struct {
 	K int
 	// Seed makes clustering deterministic.
 	Seed int64
+	// WarmInsts is the checkpoint warm-up log depth in instructions
+	// (0 = DefaultWarmInsts): how much microarchitectural history each
+	// checkpoint replays into a fresh machine before detailed simulation.
+	WarmInsts uint64
 }
 
 // DefaultConfig profiles 1 M instructions at 20 k-instruction intervals
@@ -161,7 +163,11 @@ func Choose(intervals []Interval, cfg Config) []Point {
 	if k > len(intervals) {
 		k = len(intervals)
 	}
-	r := rand.New(rand.NewSource(cfg.Seed))
+	// A deterministic per-call PRNG seeded from cfg.Seed (math/rand/v2;
+	// nothing here touches the deprecated global source): identical seeds
+	// must pick identical clusters, because the cluster choice is part of
+	// the content-addressed identity of a sampled simulation.
+	r := rand.New(rand.NewPCG(uint64(cfg.Seed), 0x9e3779b97f4a7c15))
 	// k-means++ style seeding: random distinct intervals.
 	perm := r.Perm(len(intervals))
 	cents := make([][Dims]float64, k)
@@ -239,100 +245,28 @@ func dist(a, b [Dims]float64) float64 {
 }
 
 // Evaluate runs the full SimPoint pipeline for one machine configuration:
-// profile, cluster, fast-forward to each representative with the functional
-// simulator, simulate IntervalLen instructions in detail, and combine the
-// per-point IPCs by cluster weight — exactly the paper's final-IPC method.
+// profile, cluster, capture a checkpoint at each representative interval,
+// warm-start a detailed machine from each checkpoint, simulate IntervalLen
+// instructions, and combine the per-point IPCs by cluster weight — exactly
+// the paper's final-IPC method, on the checkpointed service path.
 func Evaluate(prog *asm.Program, mcfg pipeline.Config, cfg Config) (float64, []Point, error) {
-	intervals, err := Profile(prog, cfg)
+	plan, err := BuildPlan(prog, cfg)
 	if err != nil {
 		return 0, nil, err
 	}
-	points := Choose(intervals, cfg)
 	var ipcSum, wSum float64
-	for _, pt := range points {
-		ipc, err := simulatePoint(prog, mcfg, cfg, pt)
+	for i, pt := range plan.Points {
+		st, err := plan.SimulatePoint(i, mcfg, prog)
 		if err != nil {
 			return 0, nil, err
 		}
-		ipcSum += pt.Weight * ipc
+		ipcSum += pt.Weight * st.IPC()
 		wSum += pt.Weight
 	}
 	if wSum == 0 {
-		return 0, points, fmt.Errorf("simpoint: no weight")
+		return 0, plan.Points, fmt.Errorf("simpoint: no weight")
 	}
-	return ipcSum / wSum, points, nil
-}
-
-func simulatePoint(prog *asm.Program, mcfg pipeline.Config, cfg Config, pt Point) (float64, error) {
-	// Fast-forward functionally to the interval start while *functionally
-	// warming* the detailed machine's caches, TLBs and predictors — the
-	// standard SimPoint flow for short intervals, without which every
-	// measurement would be dominated by cold-start effects.
-	ff, err := funcsim.New(prog)
-	if err != nil {
-		return 0, err
-	}
-	m, err := pipeline.NewWithState(mcfg, prog, ff.AS, nil, mpk.AllowAll, prog.Entry)
-	if err != nil {
-		return 0, err
-	}
-	ff.OnInst = warmer(ff.AS, m)
-	skip := pt.Interval.Index * cfg.IntervalLen
-	if skip > 0 {
-		if err := ff.Run(skip, 1); err != nil && err != funcsim.ErrLimit {
-			return 0, err
-		}
-	}
-	th := ff.Threads[0]
-	if th.Halted {
-		return 0, fmt.Errorf("simpoint: checkpoint beyond program end")
-	}
-	ff.OnInst = nil
-	m.SetArchState(&th.Regs, th.PKRU, th.PC)
-	budget := cfg.IntervalLen*800 + 400_000
-	if err := m.RunInsts(cfg.IntervalLen, budget); err != nil {
-		return 0, err
-	}
-	return m.Stats.IPC(), nil
-}
-
-// warmer returns a funcsim hook that replays each retired instruction's
-// microarchitectural footprint into the detailed machine: I-side and D-side
-// cache/TLB state plus direction-predictor and BTB training.
-func warmer(as *mem.AddressSpace, m *pipeline.Machine) func(*funcsim.Thread, uint64, isa.Inst) {
-	tage, btb := m.Predictors()
-	return func(t *funcsim.Thread, pc uint64, in isa.Inst) {
-		if ipaddr, ipte, err := as.Translate(pc, mem.Exec); err == nil {
-			if _, hit := m.ITLB.Lookup(pc >> mem.PageBits); !hit {
-				m.ITLB.Fill(pc>>mem.PageBits, ipte)
-			}
-			m.Hier.FetchLatency(ipaddr)
-		}
-		switch {
-		case in.Op.IsCondBranch():
-			// OnInst fires after execution but branches do not write
-			// registers, so the outcome is recomputable from the register
-			// file.
-			taken := evalBranch(in.Op, regOrZero(t, in.Rs1), regOrZero(t, in.Rs2))
-			_, st := tage.Predict(pc)
-			tage.SpeculativeUpdate(taken)
-			tage.Update(pc, st, taken)
-		case in.Op == isa.OpJalr && in.Rd != in.Rs1 && !in.IsReturn():
-			btb.Update(pc, regOrZero(t, in.Rs1)+uint64(in.Imm))
-		case in.Op.IsMem() && !(in.Op.IsLoad() && in.Rd == in.Rs1):
-			vaddr := regOrZero(t, in.Rs1) + uint64(in.Imm)
-			acc := mem.Read
-			if in.Op.IsStore() {
-				acc = mem.Write
-			}
-			if paddr, pte, err := as.Translate(vaddr, acc); err == nil {
-				if _, hit := m.DTLB.Lookup(vaddr >> mem.PageBits); !hit {
-					m.DTLB.Fill(vaddr>>mem.PageBits, pte)
-				}
-				m.Hier.L1D.Access(paddr, in.Op.IsStore())
-			}
-		}
-	}
+	return ipcSum / wSum, plan.Points, nil
 }
 
 func regOrZero(t *funcsim.Thread, r uint8) uint64 {

@@ -5,9 +5,11 @@
 #   2. start the daemon on a loopback port
 #   3. run a small experiment through `specmpk-bench -remote` twice
 #   4. assert the second pass was answered from the result cache
-#   5. SIGKILL the daemon while a client is mid-job, restart it, and require
+#   5. run the sampled-fidelity experiment across two policies and assert
+#      they shared one profiling pass through the profile cache
+#   6. SIGKILL the daemon while a client is mid-job, restart it, and require
 #      the client to recover by resubmitting its content-addressed spec
-#   6. SIGTERM the daemon and require a clean drain
+#   7. SIGTERM the daemon and require a clean drain
 #
 # Exercises the full stack (client -> HTTP -> queue -> workers -> pipeline ->
 # cache) the way a user would, not the way a unit test would — including the
@@ -97,6 +99,29 @@ grep -q '"traceEvents"' "$PERFETTO" || {
     exit 1
 }
 
+echo "== sampled-fidelity jobs: two policies must share one profiling pass"
+# The sampled experiment submits one fidelity=sampled job and one full job
+# per policy. The profile key excludes the machine config, so the second
+# policy's sampled job must answer its profiling from the plan cache.
+"$BIN/specmpk-bench" -remote "$ADDR" -workloads "$WORKLOAD" \
+    -modes specmpk,nonsecure sampled
+METRICS=$(curl -fsS "http://$ADDR/v1/metrics")
+SAMPLED_JOBS=$(echo "$METRICS" | awk '$1 == "server_sampled_jobs" { print $2 }')
+if [ "${SAMPLED_JOBS:-0}" -lt 2 ]; then
+    echo "FAIL: expected >= 2 sampled jobs, got '${SAMPLED_JOBS:-}'" >&2
+    exit 1
+fi
+PROFILE_HITS=$(echo "$METRICS" | awk '$1 == "server_sampled_profile_cache_hits" { print $2 }')
+if [ "${PROFILE_HITS:-0}" -lt 1 ]; then
+    echo "FAIL: expected a profile-cache hit across two sampled policies, got '${PROFILE_HITS:-}'" >&2
+    exit 1
+fi
+INTERVALS=$(echo "$METRICS" | awk '$1 == "server_sampled_intervals" { print $2 }')
+if [ "${INTERVALS:-0}" -lt 2 ]; then
+    echo "FAIL: expected fan-out intervals to be simulated, got '${INTERVALS:-}'" >&2
+    exit 1
+fi
+
 echo "== SIGKILL mid-job: client must recover via resubmission"
 # A mode not simulated above, so the job cannot be a cache hit and must be
 # in flight (or still being submitted) when the daemon dies.
@@ -128,4 +153,4 @@ if kill -0 "$PID" 2>/dev/null; then
 fi
 wait "$PID" || { echo "FAIL: specmpkd exited non-zero" >&2; exit 1; }
 
-echo "PASS: e2e smoke (cold run, cache hit, spans, SIGKILL recovery, clean drain)"
+echo "PASS: e2e smoke (cold run, cache hit, sampled profile reuse, spans, SIGKILL recovery, clean drain)"
