@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet lint race race-core race-server chaos e2e-smoke bench bench-core fuzz-smoke profile-artifact perf perf-diff check clean
+.PHONY: all build test vet lint race race-core race-server chaos chaos-cluster e2e-smoke e2e-cluster bench bench-core fuzz-smoke profile-artifact perf perf-diff check clean
 
 all: check
 
@@ -49,11 +49,26 @@ chaos:
 	$(GO) test -race -count=1 ./internal/faults ./internal/server/client
 	$(GO) test -race -count=1 -run 'Chaos|Deadline|Cache' ./internal/server
 
+# Cluster chaos drill: the consistent-hash ring property suite and the
+# coordinator's fault-point scenarios (peer-cache misses, dying forwards,
+# hedge suppression, probe failures, seeded bit-identity) under -race — the
+# coordinator's peer table and counters are all cross-goroutine state.
+chaos-cluster:
+	$(GO) test -race -count=1 ./internal/cluster
+
 # Full-stack service smoke: build specmpkd, submit an experiment through
 # specmpk-bench -remote twice, assert a cache hit, SIGKILL the daemon under a
 # live client and require recovery-by-resubmission, and drain on SIGTERM.
 e2e-smoke:
 	sh scripts/e2e_smoke.sh
+
+# Full-stack cluster e2e: three clustered daemons, exactly-once placement
+# with a warm peer-cache pass, daemon-side forwarding with a merged
+# cross-node Perfetto trace, hedging past a latency-faulted node, and a
+# SIGKILL mid-sweep that must recover via failover + resubmission with
+# output bit-identical to a pristine single-node run.
+e2e-cluster:
+	sh scripts/e2e_cluster.sh
 
 # The profile/differential experiment as machine-readable JSON; CI uploads
 # it as a build artifact so every push carries a browsable per-PC profile.

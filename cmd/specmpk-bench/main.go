@@ -25,6 +25,14 @@
 // baseline shared by fig3/fig9/fig11) without re-simulating. Experiments
 // that need more than a detailed pipeline run — fig10 (functional
 // simulation), fig13 (attack PoC), profile/diff — always run locally.
+//
+// A comma-separated -remote list enables cluster mode: the bench becomes a
+// coordinator (internal/cluster) that consistent-hashes each spec onto the
+// daemon owning it, probes peer caches before simulating anywhere, hedges
+// placements slower than -hedge-after, fails over dead peers via
+// content-addressed resubmission, and — when every peer is down — degrades
+// cells to in-process simulation. A one-line cluster summary (forwards,
+// cache hits, hedges, failovers) lands on stderr after the run.
 package main
 
 import (
@@ -33,7 +41,9 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
+	"specmpk/internal/cluster"
 	"specmpk/internal/experiments"
 	"specmpk/internal/perf"
 	"specmpk/internal/pipeline"
@@ -49,7 +59,8 @@ func realMain() int {
 	modes := flag.String("modes", "", "comma-separated policy subset for mode sweeps (default: all registered: "+strings.Join(pipeline.PolicyNames(), ",")+")")
 	jobs := flag.Int("j", 0, fmt.Sprintf("concurrent simulations (default: GOMAXPROCS, %d here)", runtime.GOMAXPROCS(0)))
 	parallel := flag.Int("parallel", 0, "alias for -j (kept for compatibility)")
-	remote := flag.String("remote", "", "run pipeline simulations on a specmpkd daemon at this address instead of in-process")
+	remote := flag.String("remote", "", "run pipeline simulations on specmpkd daemon(s) at these comma-separated addresses instead of in-process; more than one enables consistent-hash cluster placement")
+	hedgeAfter := flag.Duration("hedge-after", 500*time.Millisecond, "cluster mode: latency budget before a lagging peer is hedged to the next replica (<0 disables)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON rows instead of tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of this run to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to `file`")
@@ -83,9 +94,39 @@ func realMain() int {
 		r.Workloads = strings.Split(*workloads, ",")
 	}
 	if *remote != "" {
-		c := client.New(*remote)
-		r.Sim = experiments.RemoteSim(c)
-		r.Client = c
+		var addrs []string
+		for _, a := range strings.Split(*remote, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		switch len(addrs) {
+		case 0:
+			fmt.Fprintln(os.Stderr, "specmpk-bench: -remote: no addresses")
+			return 2
+		case 1:
+			c := client.New(addrs[0])
+			r.Sim = experiments.RemoteSim(c)
+			r.Client = c
+		default:
+			// Cluster mode: the bench process itself is the coordinator
+			// (Self is empty — every key is remote), placing each spec on
+			// the peer owning it, with peer-cache lookup, hedging and
+			// failover; a full-cluster outage degrades cells to in-process
+			// simulation via ClusterSim.
+			co, err := cluster.New(cluster.Options{Peers: addrs, HedgeAfter: *hedgeAfter})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "specmpk-bench: -remote: %v\n", err)
+				return 2
+			}
+			co.Start()
+			defer func() {
+				co.Close()
+				fmt.Fprintf(os.Stderr, "specmpk-bench: cluster: %s\n", co.Summary())
+			}()
+			r.Sim = experiments.ClusterSim(co)
+			r.Client = co.AnyClient()
+		}
 	}
 	if *modes != "" {
 		for _, name := range strings.Split(*modes, ",") {

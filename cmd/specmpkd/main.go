@@ -10,6 +10,8 @@
 //	         [-event-interval 1000000] [-max-cycles 500000000]
 //	         [-max-wall-ms 0] [-drain-timeout 2m] [-faults plan.json] [-pprof]
 //	         [-span-buf 4096] [-log-level info] [-log-format text]
+//	         [-peers http://a:8351,http://b:8351 -self http://a:8351 | -coordinator]
+//	         [-hedge-after 500ms] [-probe-interval 1s]
 //
 // Jobs default to full fidelity; a spec with "fidelity": "sampled" runs the
 // SimPoint path instead — profile once (cached by profile key, sized by
@@ -52,6 +54,17 @@
 // -faults arms a fault-injection plan (internal/faults) for staging chaos
 // drills: injected errors/panics/latency/drops fire at the registered
 // service seams. Never arm faults on a production instance.
+//
+// -peers enables cluster mode (internal/cluster): normalized job keys are
+// consistent-hashed across the listed daemons, each node simulates the keys
+// it owns (-self names this node's entry; -coordinator owns none and
+// forwards everything), peers' content-addressed caches are probed before
+// simulating anywhere, placements exceeding -hedge-after are hedged to the
+// next replica, dead peers (tracked via /v1/healthz at -probe-interval) are
+// failed over with content-addressed resubmission, and when every peer is
+// down the node degrades to local-only simulation. GET /v1/cache/{key}
+// serves the local result cache to peers; cluster.* metrics join
+// /v1/metrics.
 package main
 
 import (
@@ -65,12 +78,41 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"specmpk/internal/cluster"
 	"specmpk/internal/faults"
 	"specmpk/internal/server"
+	"specmpk/internal/server/api"
 )
+
+// clusterForwarder adapts a cluster.Coordinator onto the server's Forwarder
+// seam, translating the coordinator's vocabulary (RemoteResult, ErrNoPeers)
+// into the server's (ForwardOutcome, ErrDegradeLocal) so neither package
+// imports the other.
+type clusterForwarder struct{ co *cluster.Coordinator }
+
+func (f clusterForwarder) Remote(key string) bool { return f.co.Remote(key) }
+
+func (f clusterForwarder) RunRemote(ctx context.Context, key string, spec api.JobSpec) (server.ForwardOutcome, error) {
+	rr, err := f.co.RunRemote(ctx, key, spec)
+	if err != nil {
+		if errors.Is(err, cluster.ErrNoPeers) {
+			return server.ForwardOutcome{}, fmt.Errorf("%w: %v", server.ErrDegradeLocal, err)
+		}
+		return server.ForwardOutcome{}, err
+	}
+	return server.ForwardOutcome{
+		Result:       rr.Raw,
+		StopReason:   rr.StopReason,
+		Cycles:       rr.Cycles,
+		Insts:        rr.Insts,
+		Peer:         rr.Peer,
+		PeerCacheHit: rr.PeerCacheHit,
+	}, nil
+}
 
 // buildLogger constructs the daemon's structured logger from the -log-level
 // and -log-format flags (stderr, like the log package it replaces).
@@ -106,6 +148,12 @@ func main() {
 		spanBuf   = flag.Int("span-buf", 4096, "span flight-recorder capacity (completed spans kept for /v1/debug/spans; 0 disables tracing)")
 		logLevel  = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
 		logFormat = flag.String("log-format", "text", "log encoding: text|json")
+
+		peers       = flag.String("peers", "", "comma-separated cluster peer base URLs; enables consistent-hash job placement")
+		self        = flag.String("self", "", "this node's own entry in -peers (keys it owns simulate locally)")
+		coordinator = flag.Bool("coordinator", false, "pure-coordinator mode: own no keys, forward every job to -peers (ignores -self)")
+		hedgeAfter  = flag.Duration("hedge-after", 500*time.Millisecond, "latency budget before hedging a forwarded job to the next replica (<0 disables)")
+		probeIvl    = flag.Duration("probe-interval", time.Second, "peer health-probe cadence (<0 disables the background prober)")
 	)
 	flag.Parse()
 
@@ -141,6 +189,46 @@ func main() {
 		SpanBuffer:          *spanBuf,
 		Logger:              logger,
 	})
+
+	// Cluster mode: a coordinator consistent-hashes job keys across -peers,
+	// probing peer caches and hedging slow placements; the daemon simulates
+	// only the keys it owns (or everything, when no healthy peer can take a
+	// forwarded job — the degradation ladder's bottom rung).
+	var co *cluster.Coordinator
+	if *peers != "" {
+		selfAddr := *self
+		if *coordinator {
+			selfAddr = ""
+		} else if selfAddr == "" {
+			logger.Error("-peers requires -self (this node's entry in the list) or -coordinator")
+			os.Exit(2)
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		var err error
+		co, err = cluster.New(cluster.Options{
+			Peers:         peerList,
+			Self:          selfAddr,
+			HedgeAfter:    *hedgeAfter,
+			ProbeInterval: *probeIvl,
+			Recorder:      s.SpanRecorder(),
+			Logger:        logger,
+		})
+		if err != nil {
+			logger.Error("cluster setup failed", "err", err)
+			os.Exit(2)
+		}
+		co.RegisterMetrics(s.Registry())
+		s.SetForwarder(clusterForwarder{co})
+		co.Start()
+		logger.Info("cluster placement enabled",
+			"peers", len(peerList), "self", selfAddr, "coordinator", *coordinator,
+			"hedge_after", hedgeAfter.String(), "probe_interval", probeIvl.String())
+	}
 
 	// The job API is the default handler; -pprof mounts the standard profiling
 	// endpoints in front of it on an explicit mux (not DefaultServeMux, so
@@ -192,8 +280,13 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	// Drain the job pool first (completing in-flight work), then close the
-	// HTTP side; status/event requests keep working while jobs finish.
+	// Stop the health prober first (no probes against peers that are also
+	// draining), then drain the job pool (completing in-flight work), then
+	// close the HTTP side; status/event requests keep working while jobs
+	// finish.
+	if co != nil {
+		co.Close()
+	}
 	if err := s.Shutdown(ctx); err != nil {
 		logger.Warn("drain incomplete, stragglers cancelled", "err", err)
 	}

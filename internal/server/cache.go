@@ -23,6 +23,10 @@ type resultCache struct {
 	lru     *list.List // front = most recently used
 
 	hits, misses, evictions atomic.Uint64
+	// peerLookups/peerHits count GET /v1/cache/{key} probes from cluster
+	// peers — kept apart from hits/misses so the local submit path's cache
+	// statistics stay meaningful under cluster traffic.
+	peerLookups, peerHits atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -62,6 +66,27 @@ func (c *resultCache) get(key string, sp *otrace.Span) ([]byte, bool) {
 	}
 	c.lru.MoveToFront(el)
 	c.hits.Add(1)
+	return el.Value.(*cacheEntry).bytes, true
+}
+
+// peek answers a cluster peer's cache probe: the cached canonical bytes for
+// key without counting into the submit path's hit/miss statistics and
+// without firing the server.cache.get fault point (the peer's own
+// cluster.peer.lookup seam covers injection on that path). A hit refreshes
+// recency — a result other nodes keep asking for is worth keeping.
+func (c *resultCache) peek(key string) ([]byte, bool) {
+	c.peerLookups.Add(1)
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.peerHits.Add(1)
 	return el.Value.(*cacheEntry).bytes, true
 }
 

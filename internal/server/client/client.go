@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"specmpk/internal/otrace"
@@ -38,7 +39,37 @@ type Client struct {
 	// Retry shapes the resilience layer. Set it (or leave the zero value
 	// for the defaults) before the first call.
 	Retry RetryPolicy
+
+	// Resilience counters (see Stats): how often the retry layer actually
+	// worked, so sweeps and chaos drills can assert recovery happened via
+	// retry/resubmission rather than luck.
+	retries    atomic.Uint64
+	resubmits  atomic.Uint64
+	reconnects atomic.Uint64
 }
+
+// Stats is a snapshot of the client's resilience counters.
+type Stats struct {
+	// Retries counts failed attempts that were retried by doRetry.
+	Retries uint64
+	// Resubmits counts whole submit+wait cycles re-run after the daemon
+	// disowned a job id (restart recovery via the content-addressed key).
+	Resubmits uint64
+	// Reconnects counts event-stream reconnection attempts.
+	Reconnects uint64
+}
+
+// Stats returns a snapshot of the client's resilience counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Retries:    c.retries.Load(),
+		Resubmits:  c.resubmits.Load(),
+		Reconnects: c.reconnects.Load(),
+	}
+}
+
+// Addr returns the daemon base URL this client talks to.
+func (c *Client) Addr() string { return c.base }
 
 // New returns a client for addr ("host:port" or a full http:// URL).
 func New(addr string) *Client {
@@ -90,6 +121,48 @@ func (e *JobError) Error() string {
 	return fmt.Sprintf("specmpkd: job %s failed: %s%s", e.Info.ID, e.Info.Error, trace)
 }
 
+// PeerDownError is a daemon that could not be reached at all: every attempt
+// the retry policy allowed failed at the connection level (dial refused,
+// reset before a response). It is what lets a cluster layer — or a plain
+// caller — distinguish "this peer is gone, fail over" from "this peer is
+// slow or overloaded, keep waiting". The zero-cost alternative, retrying the
+// same dead address until the caller's context expires, is exactly the spin
+// this type exists to end.
+type PeerDownError struct {
+	// Addr is the unreachable daemon's base URL.
+	Addr string
+	// Attempts is how many connection attempts failed before giving up.
+	Attempts int
+	// Err is the last connection-level error.
+	Err error
+}
+
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("specmpkd: peer %s down (%d connection attempts failed): %v", e.Addr, e.Attempts, e.Err)
+}
+
+func (e *PeerDownError) Unwrap() error { return e.Err }
+
+// IsPeerDown reports whether err is a PeerDownError — the retry policy was
+// exhausted without ever completing a request against the peer.
+func IsPeerDown(err error) bool {
+	var pd *PeerDownError
+	return errors.As(err, &pd)
+}
+
+// isConnFailure reports whether err is a connection-level failure: the
+// request never produced an HTTP response (dial refused, reset, truncated).
+// HTTP-level errors — even 503s — prove the peer is alive, so they never
+// count toward a peer-down verdict.
+func isConnFailure(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	var jobErr *JobError
+	return !errors.As(err, &apiErr) && !errors.As(err, &jobErr)
+}
+
 // IsUnknownJob reports whether err is the daemon disowning a job id (404) —
 // after a restart, every pre-restart id is gone. The recovery is not to
 // retry the status call but to resubmit the spec, which the
@@ -133,6 +206,28 @@ func transient(err error) (retryAfter time.Duration, ok bool) {
 	return 0, true
 }
 
+// ctxMarker keys the cluster-coordination context flags below.
+type ctxMarker int
+
+const (
+	ctxForwarded ctxMarker = iota
+	ctxResubmit
+)
+
+// WithForwarded marks every submit under ctx as already cluster-placed
+// (api.HeaderForwarded): the receiving daemon simulates locally instead of
+// forwarding again. Cluster coordinators set it on the requests they route.
+func WithForwarded(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxForwarded, true)
+}
+
+// WithResubmit marks every submit under ctx as a re-placement of a job whose
+// first placement died (api.HeaderResubmit), so the receiving daemon's
+// server.jobs.resubmitted counter records the recovery.
+func WithResubmit(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxResubmit, true)
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
@@ -154,6 +249,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if sc := otrace.FromContext(ctx); sc.Valid() {
 		req.Header.Set("traceparent", sc.Traceparent())
 	}
+	if ctx.Value(ctxForwarded) != nil {
+		req.Header.Set(api.HeaderForwarded, "1")
+	}
+	if ctx.Value(ctxResubmit) != nil {
+		req.Header.Set(api.HeaderResubmit, "1")
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -171,22 +272,31 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 
 // doRetry is do wrapped in the resilience layer: transient failures are
 // retried up to the policy's attempt budget with backoff (or the server's
-// Retry-After), permanent ones return immediately.
+// Retry-After), permanent ones return immediately. When every attempt failed
+// at the connection level the exhausted budget surfaces as a typed
+// PeerDownError, so callers (the cluster coordinator above all) can fail
+// over to another peer instead of retrying a dead address.
 func (c *Client) doRetry(ctx context.Context, method, path string, body, out any) error {
 	bo := newBackoff(c.Retry)
 	attempts := c.Retry.attempts()
 	var err error
+	allConn := true
 	for i := 0; i < attempts; i++ {
 		if err = c.do(ctx, method, path, body, out); err == nil {
 			return nil
 		}
+		allConn = allConn && isConnFailure(err)
 		ra, ok := transient(err)
 		if !ok || i == attempts-1 {
-			return err
+			break
 		}
+		c.retries.Add(1)
 		if serr := bo.sleep(ctx, ra); serr != nil {
-			return err
+			break
 		}
+	}
+	if allConn && err != nil {
+		return &PeerDownError{Addr: c.base, Attempts: attempts, Err: err}
 	}
 	return err
 }
@@ -253,11 +363,19 @@ const maxEventLine = 8 << 20
 // if the stream ends cleanly without a final event (job already terminal
 // before subscribing and its buffer was replayed, or the subscription was
 // detached server-side) — callers confirm terminal state via Job.
+//
+// A peer that refuses every connection is a special case: progress resets
+// the failure budget (deliberately — a long job must survive many isolated
+// stream drops), but connection-level failures are counted on their own,
+// unreset by replayed events, so a dead peer surfaces as a typed
+// PeerDownError once the policy's attempts are exhausted instead of the
+// reconnection loop spinning against it forever.
 func (c *Client) Events(ctx context.Context, id string, fn func(api.Event) error) error {
 	bo := newBackoff(c.Retry)
 	attempts := c.Retry.attempts()
 	var lastSeq uint64
 	failures := 0
+	connFails := 0
 	for {
 		progressed, err := c.streamEvents(ctx, id, &lastSeq, fn)
 		if err == nil {
@@ -271,13 +389,26 @@ func (c *Client) Events(ctx context.Context, id string, fn func(api.Event) error
 			return err
 		}
 		if progressed {
+			// Forward progress proves the peer is alive and serving; only a
+			// working connection resets the consecutive-connection-failure
+			// count, never a replayed buffer on a connection that then died.
 			failures = 0
+			connFails = 0
 			bo.reset()
 		}
 		failures++
+		if isConnFailure(err) {
+			connFails++
+			if connFails >= attempts {
+				return &PeerDownError{Addr: c.base, Attempts: connFails, Err: err}
+			}
+		} else {
+			connFails = 0
+		}
 		if failures >= attempts {
 			return err
 		}
+		c.reconnects.Add(1)
 		if serr := bo.sleep(ctx, 0); serr != nil {
 			return err
 		}
@@ -380,7 +511,15 @@ const resubmitAttempts = 3
 func (c *Client) Run(ctx context.Context, spec api.JobSpec) (api.Result, api.JobInfo, error) {
 	var lastErr error
 	for attempt := 0; attempt < resubmitAttempts; attempt++ {
-		info, err := c.Submit(ctx, spec)
+		sctx := ctx
+		if attempt > 0 {
+			// Recovery pass: mark the submit so the daemon's
+			// server.jobs.resubmitted counter records that this job came back
+			// via content-addressed resubmission after a restart.
+			sctx = WithResubmit(ctx)
+			c.resubmits.Add(1)
+		}
+		info, err := c.Submit(sctx, spec)
 		if err != nil {
 			return api.Result{}, api.JobInfo{}, err
 		}
@@ -429,5 +568,48 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 // Healthz probes daemon liveness. Deliberately retry-free: health probes
 // report the instant truth, the prober supplies its own cadence.
 func (c *Client) Healthz(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+	_, err := c.HealthzInfo(ctx)
+	return err
+}
+
+// HealthzInfo probes daemon liveness and returns the diagnostic payload —
+// version (cache-key compatibility), worker pool, and the queue-load fields
+// the cluster layer's bounded-load placement consumes. Retry-free, like
+// Healthz.
+func (c *Client) HealthzInfo(ctx context.Context) (api.Healthz, error) {
+	var h api.Healthz
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	return h, err
+}
+
+// CachedResult probes the daemon's content-addressed result cache for key
+// (GET /v1/cache/{key}) without submitting a job: the canonical result bytes
+// verbatim on a hit, ok=false on a miss. Deliberately single-attempt — a
+// failed probe just means the caller simulates, so retrying it would only
+// add latency to the miss path.
+func (c *Client) CachedResult(ctx context.Context, key string) (json.RawMessage, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if sc := otrace.FromContext(ctx); sc.Valid() {
+		req.Header.Set("traceparent", sc.Traceparent())
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, false, decodeErr(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	return json.RawMessage(b), true, nil
 }

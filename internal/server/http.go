@@ -21,6 +21,7 @@ import (
 //	GET    /v1/jobs/{id}        job status (Result inlined once done)
 //	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: via ctx)
 //	GET    /v1/jobs/{id}/events NDJSON progress stream (replay + live)
+//	GET    /v1/cache/{key}      content-addressed cache probe (cluster peer lookup)
 //	GET    /v1/metrics          Prometheus text exposition of server.* metrics
 //	GET    /v1/healthz          liveness + diagnostics (uptime, version, pool size)
 //	GET    /v1/debug/spans      span flight recorder dump (?trace= ?job= ?format=chrome)
@@ -37,6 +38,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 		mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+		mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 		mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 		mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 		mux.HandleFunc("GET /v1/debug/spans", s.handleSpans)
@@ -164,7 +166,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	info, err := s.SubmitTraced(otrace.FromContext(r.Context()), spec)
+	info, err := s.SubmitWith(SubmitOpts{
+		Parent:    otrace.FromContext(r.Context()),
+		Forwarded: r.Header.Get(api.HeaderForwarded) != "",
+		Resubmit:  r.Header.Get(api.HeaderResubmit) != "",
+	}, spec)
 	if err != nil {
 		var unavail ErrUnavailable
 		if errors.As(err, &unavail) {
@@ -274,16 +280,44 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleCacheGet answers a cluster peer's content-addressed cache probe:
+// the canonical result bytes verbatim on a hit (bit-identical replay across
+// nodes is the whole point), 404 on a miss. It reads through peek, so peer
+// probes are counted apart from the submit path's hit/miss statistics.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	b, ok := s.cache.peek(key)
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("key not cached"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
 // handleHealthz answers the liveness probe with a diagnostic payload:
 // uptime, the simulator version (which decides cache-key compatibility
-// across daemons), and the worker-pool size.
+// across daemons), the worker-pool size, and the instantaneous load figures
+// (queue depth/capacity, jobs in flight) that drive cluster bounded-load
+// placement. During drain the status flips to "draining" — probers treat
+// that as "alive but do not place work here".
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, api.Healthz{
-		Status:    "ok",
-		Version:   api.Version,
-		GoVersion: runtime.Version(),
-		Workers:   s.opt.Workers,
-		UptimeMS:  time.Since(s.started).Milliseconds(),
-		StartedAt: s.started,
+		Status:       status,
+		Version:      api.Version,
+		GoVersion:    runtime.Version(),
+		Workers:      s.opt.Workers,
+		UptimeMS:     time.Since(s.started).Milliseconds(),
+		StartedAt:    s.started,
+		QueueDepth:   len(s.queue),
+		QueueCap:     s.opt.QueueSize,
+		JobsInFlight: int(s.running.Load()),
 	})
 }

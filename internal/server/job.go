@@ -17,6 +17,11 @@ type execution struct {
 	key  string
 	spec api.JobSpec // normalized
 
+	// forwarded marks an execution a cluster coordinator already placed on
+	// this node: the worker must simulate it locally, never forward it
+	// onward (loop prevention). Set before the execution enters the queue.
+	forwarded bool
+
 	ctx    context.Context
 	cancel context.CancelFunc
 

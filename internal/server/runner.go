@@ -3,10 +3,12 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"time"
 
+	"specmpk/internal/otrace"
 	"specmpk/internal/pipeline"
 	"specmpk/internal/server/api"
 )
@@ -119,6 +121,9 @@ func (s *Server) simulateContained(ex *execution) (state, errMsg string, result 
 // "failed" otherwise marks jobs that could not simulate at all (bad config,
 // unbuildable program, injected worker fault).
 func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, cycle, insts uint64) {
+	if state, errMsg, result, cycle, insts, handled := s.forwardRemote(ex); handled {
+		return state, errMsg, result, cycle, insts
+	}
 	spec := ex.spec
 	if spec.Fidelity == api.FidelitySampled {
 		return s.runSampled(ex)
@@ -201,6 +206,55 @@ func (s *Server) simulate(ex *execution) (state, errMsg string, result []byte, c
 		default:
 			return api.StateFailed, runErr.Error(), nil, st.Cycles, st.Insts
 		}
+	}
+}
+
+// forwardRemote is the cluster seam on the worker path: when a Forwarder is
+// installed and places the job's content-addressed key on a peer, the worker
+// runs it there and adopts the peer's canonical result bytes verbatim — they
+// enter the local cache bit-identical to a local run, so later submits of
+// the same spec are served locally. handled=false falls through to local
+// simulation: no forwarder, a coordinator-placed submit (loop prevention),
+// a self-owned key, or the degradation ladder's bottom rung (every peer
+// down, signalled by ErrDegradeLocal).
+//
+// Forwarding happens inside the execution rather than at the HTTP layer so
+// everything local stays local: the job id, its event stream, single-flight
+// dedup and the result cache all behave exactly as for a local run.
+func (s *Server) forwardRemote(ex *execution) (state, errMsg string, result []byte, cycle, insts uint64, handled bool) {
+	if s.fwd == nil || ex.forwarded || !s.fwd.Remote(ex.key) {
+		return "", "", nil, 0, 0, false
+	}
+	ctx := ex.ctx
+	if ex.sc.Valid() {
+		// Thread the job's trace across the node hop: the forwarder's client
+		// propagates it as a traceparent header, so the peer's spans join
+		// this trace.
+		ctx = otrace.ContextWith(ctx, ex.simSpan.Context())
+	}
+	out, err := s.fwd.RunRemote(ctx, ex.key, ex.spec)
+	switch {
+	case err == nil:
+		s.jobsForwarded.Add(1)
+		ex.setTrace(out.StopReason, "")
+		ex.simSpan.SetAttr("forwarded_to", out.Peer)
+		if out.PeerCacheHit {
+			ex.simSpan.SetAttr("peer_cache_hit", true)
+		}
+		return api.StateDone, "", out.Result, out.Cycles, out.Insts, true
+	case errors.Is(err, ErrDegradeLocal):
+		s.forwardDegraded.Add(1)
+		ex.simSpan.Event("cluster_degraded_local", "error", err.Error())
+		s.logger.Warn("cluster degraded to local simulation",
+			"trace_id", ex.sc.Trace.String(), "key", ex.key, "err", err)
+		return "", "", nil, 0, 0, false
+	case ex.ctx.Err() != nil:
+		return api.StateCancelled, ex.ctx.Err().Error(), nil, 0, 0, true
+	default:
+		// A terminal remote outcome (failed/cancelled job on the owner). The
+		// spec is deterministic, so simulating locally would reproduce it —
+		// adopt the failure instead of paying for the rerun.
+		return api.StateFailed, err.Error(), nil, 0, 0, true
 	}
 }
 

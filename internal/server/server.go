@@ -14,6 +14,8 @@ package server
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -43,6 +45,47 @@ var (
 	fpHTTPRequest    = faults.Register("server.http.request")
 	fpEventsStream   = faults.Register("server.events.stream")
 )
+
+// ErrDegradeLocal is the sentinel a Forwarder returns (possibly wrapped)
+// when no healthy peer can take the job: the worker falls through to local
+// simulation — the bottom rung of the cluster degradation ladder, where a
+// fully partitioned node still answers every request it can compute itself.
+var ErrDegradeLocal = errors.New("no healthy peer: degrade to local simulation")
+
+// ForwardOutcome is a remotely computed job: the owner peer's canonical
+// result bytes verbatim (bit-identical to simulating locally, which is what
+// lets them enter the local cache), plus the headline figures for spans and
+// events.
+type ForwardOutcome struct {
+	// Result is the canonical api.Result JSON exactly as the peer produced
+	// it. It is never re-marshalled: byte identity across nodes is the
+	// property the content-addressed cache relies on.
+	Result json.RawMessage
+	// StopReason is the remote run's stop reason (the job span attribute).
+	StopReason string
+	// Cycles/Insts are the remote run's headline progress figures.
+	Cycles, Insts uint64
+	// Peer names the node that answered; PeerCacheHit marks an answer served
+	// from the peer's cache without simulating.
+	Peer         string
+	PeerCacheHit bool
+}
+
+// Forwarder is the cluster seam: when set (SetForwarder), the worker asks it
+// before simulating whether the job's content-addressed key belongs to
+// another node, and if so runs it there. The server stays ignorant of ring
+// layout, health tracking and hedging — that is internal/cluster's job; the
+// interface keeps the dependency pointing outward.
+type Forwarder interface {
+	// Remote reports whether key should run on a peer rather than locally.
+	Remote(key string) bool
+	// RunRemote executes the spec on the cluster and returns the owner's
+	// result. An error wrapping ErrDegradeLocal means no peer could take it
+	// and the caller should simulate locally; any other error is terminal
+	// for the job (the spec is deterministic, so the remote failure is what
+	// a local run would have produced).
+	RunRemote(ctx context.Context, key string, spec api.JobSpec) (ForwardOutcome, error)
+}
 
 // Options configures a Server.
 type Options struct {
@@ -185,12 +228,21 @@ type Server struct {
 	finished []string              // finished job ids, oldest first (retention)
 	nextID   uint64
 
+	// fwd is the cluster forwarding seam (nil = single-node). Written once
+	// by SetForwarder before the server starts taking submissions; workers
+	// read it after receiving an execution through the queue, so the channel
+	// send/receive orders the write before every read.
+	fwd Forwarder
+
 	// Metrics (atomics: snapshotted concurrently with workers).
 	accepted, rejected   atomic.Uint64
 	deduped              atomic.Uint64
 	jobsDone, jobsFailed atomic.Uint64
 	jobsCancelled        atomic.Uint64
 	jobsDeadline         atomic.Uint64
+	jobsResubmitted      atomic.Uint64
+	jobsForwarded        atomic.Uint64
+	forwardDegraded      atomic.Uint64
 	panicsRecovered      atomic.Uint64
 	sampledJobs          atomic.Uint64
 	sampledIntervals     atomic.Uint64
@@ -245,6 +297,26 @@ func (s *Server) Submit(spec api.JobSpec) (api.JobInfo, error) {
 	return s.SubmitTraced(otrace.SpanContext{}, spec)
 }
 
+// SetForwarder installs the cluster forwarding seam. Call it once, after New
+// and before the server takes its first submission (the queue's channel
+// handoff publishes the write to the workers); passing nil keeps the
+// single-node behaviour.
+func (s *Server) SetForwarder(f Forwarder) { s.fwd = f }
+
+// SubmitOpts carries a submission's cross-cutting context: its propagated
+// trace parent and the cluster-coordination markers from the request
+// headers.
+type SubmitOpts struct {
+	// Parent is the propagated trace context (zero = fresh root when armed).
+	Parent otrace.SpanContext
+	// Forwarded marks a submit a cluster coordinator already placed here:
+	// the job must run locally, never be forwarded again (loop prevention).
+	Forwarded bool
+	// Resubmit marks a re-placement of a job whose first placement died;
+	// counted as server.jobs.resubmitted.
+	Resubmit bool
+}
+
 // SubmitTraced validates and accepts one job, rooting its request trace at
 // parent (the span context propagated via the W3C traceparent header; the
 // zero value starts a fresh root when tracing is armed). The fast paths
@@ -254,6 +326,13 @@ func (s *Server) Submit(spec api.JobSpec) (api.JobInfo, error) {
 // rejected with ErrUnavailable when the queue is full or the server is
 // draining.
 func (s *Server) SubmitTraced(parent otrace.SpanContext, spec api.JobSpec) (api.JobInfo, error) {
+	return s.SubmitWith(SubmitOpts{Parent: parent}, spec)
+}
+
+// SubmitWith is SubmitTraced with the full submission context — see
+// SubmitOpts for the cluster-coordination markers.
+func (s *Server) SubmitWith(opts SubmitOpts, spec api.JobSpec) (api.JobInfo, error) {
+	parent := opts.Parent
 	norm, err := spec.Normalize()
 	if err != nil {
 		return api.JobInfo{}, err
@@ -261,6 +340,12 @@ func (s *Server) SubmitTraced(parent otrace.SpanContext, spec api.JobSpec) (api.
 	key, err := norm.Key()
 	if err != nil {
 		return api.JobInfo{}, err
+	}
+	if opts.Resubmit {
+		// Counted on arrival (not on outcome): the point is to prove the
+		// recovery path ran, whatever disposition the resubmitted spec lands
+		// on — cache, dedup, or a fresh execution.
+		s.jobsResubmitted.Add(1)
 	}
 
 	// Admission fault point, fired outside the lock so an injected latency
@@ -338,6 +423,7 @@ func (s *Server) SubmitTraced(parent otrace.SpanContext, spec api.JobSpec) (api.
 	}
 
 	ex := newExecution(s.baseCtx, key, norm)
+	ex.forwarded = opts.Forwarded
 	// Arm the execution's trace seams before it can reach a worker: stage
 	// spans parent onto this (primary) job's span.
 	ex.sc = j.span.Context()
@@ -542,12 +628,17 @@ func (s *Server) Registry() *stats.Registry {
 		r.Counter("server.jobs.failed", "executions failed", s.jobsFailed.Load)
 		r.Counter("server.jobs.cancelled", "executions cancelled", s.jobsCancelled.Load)
 		r.Counter("server.jobs.deadline", "executions failed by their wall-clock deadline", s.jobsDeadline.Load)
+		r.Counter("server.jobs.resubmitted", "jobs re-placed via content-addressed resubmission after a node/daemon death", s.jobsResubmitted.Load)
+		r.Counter("server.jobs.forwarded", "executions answered by a cluster peer instead of simulating locally", s.jobsForwarded.Load)
+		r.Counter("server.jobs.forward_degraded", "executions simulated locally because no healthy peer could take them", s.forwardDegraded.Load)
 		r.Counter("server.panics_recovered", "worker/HTTP panics contained without killing the process", s.panicsRecovered.Load)
 		r.Counter("server.jobs.wall_ms_total", "total execution wall time (ms)", s.wallMSTotal.Load)
 		r.Counter("server.cache.hits", "result-cache hits", s.cache.hits.Load)
 		r.Counter("server.cache.misses", "result-cache misses", s.cache.misses.Load)
 		r.Counter("server.cache.evictions", "result-cache LRU evictions", s.cache.evictions.Load)
 		r.Gauge("server.cache.entries", "result-cache resident entries", func() float64 { return float64(s.cache.len()) })
+		r.Counter("server.cache.peer_lookups", "cache probes from cluster peers (GET /v1/cache/{key})", s.cache.peerLookups.Load)
+		r.Counter("server.cache.peer_hits", "peer cache probes answered from the local cache", s.cache.peerHits.Load)
 		r.Counter("server.sampled.jobs", "sampled-fidelity executions completed", s.sampledJobs.Load)
 		r.Counter("server.sampled.intervals", "representative intervals simulated in detail", s.sampledIntervals.Load)
 		r.Counter("server.sampled.intervals_stolen", "intervals run by idle pool workers instead of the owning worker", s.sampledStolen.Load)

@@ -519,6 +519,9 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if hz.UptimeMS < 0 || hz.StartedAt.IsZero() {
 		t.Fatalf("healthz uptime fields %+v", hz)
 	}
+	if hz.QueueDepth != 0 || hz.JobsInFlight != 0 {
+		t.Fatalf("idle healthz load figures %+v", hz)
+	}
 
 	// Unknown jobs 404; malformed specs 400.
 	nf, _ := http.Get(ts.URL + "/v1/jobs/nope")

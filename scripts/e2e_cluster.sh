@@ -1,0 +1,235 @@
+#!/bin/sh
+# End-to-end cluster test for the specmpkd fleet path:
+#
+#   1. build the binaries; start three daemons A/B/C, each embedding the
+#      cluster coordinator (-peers -self), on loopback ports
+#   2. run a sweep through `specmpk-bench -remote A,B,C` twice: placement
+#      spreads the cold pass across owners, and the warm pass must be
+#      answered entirely from peer caches — each unique spec simulated
+#      exactly once cluster-wide (proven from per-node counters)
+#   3. submit everything to A alone and require A's embedded coordinator to
+#      forward the keys it does not own; merge the three nodes' span dumps
+#      with scripts/mergetrace and require a cross-node trace
+#   4. start a fault-armed slow node D (1.2s injected latency on every
+#      request) and require the bench coordinator to hedge past it
+#   5. SIGKILL C mid-sweep and require zero lost jobs (bench exits 0, C's
+#      keys fail over via content-addressed resubmission) with output
+#      bit-identical to a pristine single-node run of the same sweep
+#   6. SIGTERM the survivors and require a clean drain
+#
+# Everything rides on content addressing: a job key names a deterministic
+# computation, so any node can run it and every retry/hedge/failover is
+# idempotent — which is what the bit-identity diff in step 5 proves.
+set -eu
+
+HOST=127.0.0.1
+A=$HOST:${SPECMPK_PORT_A:-8361}
+B=$HOST:${SPECMPK_PORT_B:-8362}
+C=$HOST:${SPECMPK_PORT_C:-8363}
+D=$HOST:${SPECMPK_PORT_D:-8364}
+E=$HOST:${SPECMPK_PORT_E:-8365}
+WORKLOAD=548.exchange2_r # smallest pipeline workload: keeps the e2e fast
+BIN=$(mktemp -d)
+APID= BPID= CPID= DPID= EPID= BENCHPID=
+trap 'kill $APID $BPID $CPID $DPID $EPID $BENCHPID 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+echo "== build"
+go build -o "$BIN/specmpkd" ./cmd/specmpkd
+go build -o "$BIN/specmpk-bench" ./cmd/specmpk-bench
+go build -o "$BIN/mergetrace" ./scripts/mergetrace
+
+wait_healthy() { # addr pid
+    for i in $(seq 1 50); do
+        if curl -fsS "http://$1/v1/healthz" >/dev/null 2>&1; then return 0; fi
+        if ! kill -0 "$2" 2>/dev/null; then
+            echo "daemon on $1 exited before becoming healthy" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+    curl -fsS "http://$1/v1/healthz" >/dev/null
+}
+
+metric() { # addr name -> value (0 when absent)
+    V=$(curl -fsS "http://$1/v1/metrics" | awk -v m="$2" '$1 == m { print $2 }')
+    echo "${V:-0}"
+}
+
+summary_field() { # file name -> value from "name=value" in the bench cluster summary
+    sed -n 's/.*cluster: .*[ ]'"$2"'=\([0-9]*\).*/\1/p' "$1" | tail -1
+}
+
+echo "== start cluster: $A $B $C"
+for N in A B C; do
+    eval "ADDR=\$$N"
+    "$BIN/specmpkd" -addr "$ADDR" -peers "$A,$B,$C" -self "$ADDR" -probe-interval 500ms &
+    eval "${N}PID=$!"
+done
+wait_healthy "$A" "$APID"
+wait_healthy "$B" "$BPID"
+wait_healthy "$C" "$CPID"
+
+echo "== coordinated sweep, cold + warm: each spec simulates once cluster-wide"
+"$BIN/specmpk-bench" -remote "$A,$B,$C" -workloads "$WORKLOAD" \
+    -modes specmpk,serialized stats stats 2>"$BIN/sweep1.err"
+cat "$BIN/sweep1.err" >&2
+HITS=$(summary_field "$BIN/sweep1.err" peer_cache_hits)
+if [ "${HITS:-0}" -lt 2 ]; then
+    echo "FAIL: warm pass expected >= 2 peer cache hits, got '${HITS:-}'" >&2
+    exit 1
+fi
+# Exactly-once: local simulations per node = jobs_done - jobs_forwarded
+# (forwarded executions count as done on the forwarding node too). The
+# sweep ran 2 unique specs twice; the cluster must have simulated exactly 2.
+SIMS=0
+for N in "$A" "$B" "$C"; do
+    DONE=$(metric "$N" server_jobs_done)
+    FWD=$(metric "$N" server_jobs_forwarded)
+    SIMS=$((SIMS + DONE - FWD))
+done
+if [ "$SIMS" -ne 2 ]; then
+    echo "FAIL: cluster simulated $SIMS specs, want exactly 2 (shared work ran twice somewhere)" >&2
+    exit 1
+fi
+
+echo "== single-entry submit: A forwards the keys it does not own"
+"$BIN/specmpk-bench" -remote "$A" -workloads "$WORKLOAD" \
+    -modes nonsecure,delayupgrade,noforward stats
+AFWD=$(metric "$A" cluster_jobs_forwarded)
+if [ "${AFWD:-0}" -lt 1 ]; then
+    echo "FAIL: A forwarded no jobs (cluster_jobs_forwarded=$AFWD); embedded coordinator inert" >&2
+    exit 1
+fi
+if [ "$(metric "$A" server_jobs_forwarded)" -lt 1 ]; then
+    echo "FAIL: A answered no execution from a peer (server_jobs_forwarded=0)" >&2
+    exit 1
+fi
+
+echo "== merged cross-node trace"
+curl -fsS "http://$A/v1/debug/spans?format=chrome" > "$BIN/spans_a.json"
+curl -fsS "http://$B/v1/debug/spans?format=chrome" > "$BIN/spans_b.json"
+curl -fsS "http://$C/v1/debug/spans?format=chrome" > "$BIN/spans_c.json"
+MERGED=${CLUSTER_TRACE_OUT:-$BIN/cluster_trace.json}
+"$BIN/mergetrace" -o "$MERGED" "nodeA=$BIN/spans_a.json" "nodeB=$BIN/spans_b.json" "nodeC=$BIN/spans_c.json"
+grep -q '"traceEvents"' "$MERGED" || { echo "FAIL: merged trace malformed" >&2; exit 1; }
+grep -q '"cluster.forward"' "$MERGED" || {
+    echo "FAIL: merged trace holds no cluster.forward span" >&2
+    exit 1
+}
+# A forwarded job's trace must continue on the peer: some trace ID recorded
+# on A also appears in B's or C's flight recorder (traceparent propagation
+# across the node hop).
+CROSS=0
+for T in $(grep -o '"trace_id": "[0-9a-f]\{32\}"' "$BIN/spans_a.json" | cut -d'"' -f4 | sort -u); do
+    if grep -q "$T" "$BIN/spans_b.json" "$BIN/spans_c.json" 2>/dev/null; then
+        CROSS=1
+        break
+    fi
+done
+if [ "$CROSS" -ne 1 ]; then
+    echo "FAIL: no trace ID spans both A and a peer — cross-node propagation broken" >&2
+    exit 1
+fi
+
+echo "== hedging past a slow peer"
+cat > "$BIN/slow.json" <<'PLAN'
+{"rules": [{"point": "server.http.request", "action": "latency", "delayMS": 1200}]}
+PLAN
+"$BIN/specmpkd" -addr "$D" -faults "$BIN/slow.json" &
+DPID=$!
+wait_healthy "$D" "$DPID"
+"$BIN/specmpk-bench" -remote "$D,$A" -hedge-after 200ms -workloads "$WORKLOAD" \
+    -modes specmpk,serialized,nonsecure stats 2>"$BIN/hedge.err"
+cat "$BIN/hedge.err" >&2
+HEDGES=$(summary_field "$BIN/hedge.err" hedges)
+if [ "${HEDGES:-0}" -lt 1 ]; then
+    echo "FAIL: no hedge fired against a 1.2s-latency peer at a 200ms budget" >&2
+    exit 1
+fi
+kill "$DPID" 2>/dev/null || true
+DPID=
+
+echo "== SIGKILL C mid-sweep: zero lost jobs, bit-identical output"
+# Restart C with a 3s simulate stall (healthz untouched): its cells are
+# still in flight when the SIGKILL lands, so recovery must run through
+# failover + resubmission rather than C finishing early. The stall only
+# delays — it never changes a result — so bit-identity still holds.
+kill -TERM "$CPID" 2>/dev/null || true
+wait "$CPID" 2>/dev/null || true
+cat > "$BIN/slowsim.json" <<'PLAN'
+{"rules": [{"point": "server.worker.simulate", "action": "latency", "delayMS": 3000}]}
+PLAN
+"$BIN/specmpkd" -addr "$C" -peers "$A,$B,$C" -self "$C" -probe-interval 500ms \
+    -faults "$BIN/slowsim.json" &
+CPID=$!
+wait_healthy "$C" "$CPID"
+# Fresh workloads: every cell must be a real simulation somewhere, not a
+# warm cache answer, or the kill would have nothing in flight to orphan.
+# Hedging is off so a slow C cell cannot be rescued by a hedge win — the
+# only way back is the failover path under test.
+SWEEP_WORKLOADS=557.xz_r,525.x264_r
+SWEEP_MODES=specmpk,serialized,nonsecure,delayupgrade,noforward
+# Baseline before the sweep starts: placement is fast, so reading it any
+# later could swallow the very acceptance the kill loop waits for.
+C0=$(metric "$C" server_jobs_accepted)
+"$BIN/specmpk-bench" -remote "$A,$B,$C" -hedge-after=-1s -j 2 -json \
+    -workloads "$SWEEP_WORKLOADS" \
+    -modes "$SWEEP_MODES" stats >"$BIN/cluster.json" 2>"$BIN/kill.err" &
+BENCHPID=$!
+# Wait until C holds work from this sweep, then kill it abruptly.
+for i in $(seq 1 200); do
+    if [ "$(metric "$C" server_jobs_accepted)" -gt "$C0" ]; then break; fi
+    if ! kill -0 "$BENCHPID" 2>/dev/null; then break; fi
+    sleep 0.05
+done
+kill -KILL "$CPID" 2>/dev/null || true
+if ! wait "$BENCHPID"; then
+    cat "$BIN/kill.err" >&2
+    echo "FAIL: sweep lost jobs when a node was SIGKILLed" >&2
+    exit 1
+fi
+BENCHPID=
+cat "$BIN/kill.err" >&2
+FAILOVERS=$(summary_field "$BIN/kill.err" failovers)
+if [ "${FAILOVERS:-0}" -lt 1 ]; then
+    echo "FAIL: C died mid-sweep but the coordinator reports no failovers" >&2
+    exit 1
+fi
+# The survivors' resubmission counters prove recovery went through the
+# content-addressed resubmit path, not a lucky cache.
+RESUB=$(( $(metric "$A" server_jobs_resubmitted) + $(metric "$B" server_jobs_resubmitted) ))
+if [ "$RESUB" -lt 1 ]; then
+    echo "FAIL: no resubmitted job landed on a survivor after C's death" >&2
+    exit 1
+fi
+# Bit-identity: the same sweep on a pristine, never-clustered daemon must
+# produce byte-identical JSON rows.
+"$BIN/specmpkd" -addr "$E" &
+EPID=$!
+wait_healthy "$E" "$EPID"
+"$BIN/specmpk-bench" -remote "$E" -j 2 -json -workloads "$SWEEP_WORKLOADS" \
+    -modes "$SWEEP_MODES" stats >"$BIN/pristine.json"
+if ! cmp -s "$BIN/cluster.json" "$BIN/pristine.json"; then
+    diff "$BIN/cluster.json" "$BIN/pristine.json" | head -20 >&2 || true
+    echo "FAIL: cluster sweep output differs from the pristine single-node run" >&2
+    exit 1
+fi
+
+echo "== SIGTERM drain"
+for P in "$APID" "$BPID" "$EPID"; do
+    kill -TERM "$P" 2>/dev/null || true
+done
+for P in "$APID" "$BPID" "$EPID"; do
+    for i in $(seq 1 50); do
+        kill -0 "$P" 2>/dev/null || break
+        sleep 0.2
+    done
+    if kill -0 "$P" 2>/dev/null; then
+        echo "FAIL: a daemon did not exit within 10s of SIGTERM" >&2
+        exit 1
+    fi
+    wait "$P" || { echo "FAIL: a daemon exited non-zero" >&2; exit 1; }
+done
+APID= BPID= EPID=
+
+echo "PASS: e2e cluster (exactly-once placement, peer cache, forwarding, cross-node trace, hedging, SIGKILL failover with bit-identical results, clean drain)"

@@ -123,11 +123,19 @@ if [ "${INTERVALS:-0}" -lt 2 ]; then
 fi
 
 echo "== SIGKILL mid-job: client must recover via resubmission"
-# A mode not simulated above, so the job cannot be a cache hit and must be
-# in flight (or still being submitted) when the daemon dies.
-"$BIN/specmpk-bench" -remote "$ADDR" -workloads "$WORKLOAD" -modes serialized stats &
+# Cells not simulated above, so none can be a cache hit — and heavy enough
+# that they are still in flight when the daemon dies. The kill waits for
+# the daemon to actually accept work from this sweep (a fixed sleep races:
+# a fast cell could finish first and make recovery vacuous).
+A0=$(curl -fsS "http://$ADDR/v1/metrics" | awk '$1 == "server_jobs_accepted" { print $2 }')
+"$BIN/specmpk-bench" -remote "$ADDR" \
+    -workloads 505.mcf_r,502.gcc_r,520.omnetpp_r -modes serialized stats &
 BENCHPID=$!
-sleep 0.3
+for i in $(seq 1 100); do
+    A1=$(curl -fsS "http://$ADDR/v1/metrics" | awk '$1 == "server_jobs_accepted" { print $2 }')
+    if [ "${A1:-0}" -gt "${A0:-0}" ]; then break; fi
+    sleep 0.05
+done
 kill -KILL "$PID" 2>/dev/null || true
 sleep 0.2
 "$BIN/specmpkd" -addr "$ADDR" &
@@ -140,6 +148,14 @@ if ! wait "$BENCHPID"; then
 fi
 BENCHPID=
 curl -fsS "http://$ADDR/v1/healthz" >/dev/null
+# Recovery must have gone through content-addressed resubmission: the client
+# marks recovery submits (X-Specmpk-Resubmit) and the restarted daemon
+# counts them, so "it recovered" is proven to be resubmission, not luck.
+RESUB=$(curl -fsS "http://$ADDR/v1/metrics" | awk '$1 == "server_jobs_resubmitted" { print $2 }')
+if [ "${RESUB:-0}" -lt 1 ]; then
+    echo "FAIL: expected >= 1 resubmitted job on the restarted daemon, got '${RESUB:-}'" >&2
+    exit 1
+fi
 
 echo "== SIGTERM drain"
 kill -TERM "$PID"

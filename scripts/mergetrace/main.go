@@ -1,0 +1,110 @@
+// Command mergetrace merges Chrome trace-event JSON dumps from several
+// specmpkd nodes (GET /v1/debug/spans?format=chrome) into one file Perfetto
+// loads as a single timeline — one process row per node, one thread row per
+// trace within it. A cross-node job (coordinator hop, peer simulate) shows
+// up as spans sharing one trace_id across two process rows.
+//
+// Usage:
+//
+//	mergetrace -o merged.json nodeA=spans_a.json nodeB=spans_b.json ...
+//
+// Bare file arguments label their row with the file's base name. Each node
+// exports timestamps relative to its own earliest span, so rows align at
+// zero, not at wall-clock time; within one node the nesting is exact, and
+// trace IDs — not timestamps — are the cross-node join key.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// event mirrors the exporter's chromeEvent shape loosely: known fields are
+// typed so pid/tid can be rewritten, everything else rides through Extra.
+type event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+func main() {
+	out := flag.String("o", "merged_trace.json", "output path for the merged trace")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mergetrace [-o merged.json] [label=]spans.json ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := merge(*out, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "mergetrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func merge(out string, args []string) error {
+	var merged []event
+	for i, arg := range args {
+		label, path := splitArg(arg)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var tf traceFile
+		if err := json.Unmarshal(b, &tf); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		pid := i + 1
+		merged = append(merged, event{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": label},
+		})
+		for _, ev := range tf.TraceEvents {
+			ev.PID = pid
+			if ev.Args == nil {
+				ev.Args = map[string]any{}
+			}
+			if ev.Ph != "M" {
+				ev.Args["node"] = label
+			}
+			merged = append(merged, ev)
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(traceFile{TraceEvents: merged, DisplayTimeUnit: "ms"})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// splitArg splits "label=path" (a path may itself contain '='-free labels
+// only; the first '=' wins). A bare path is labeled by its base name.
+func splitArg(arg string) (label, path string) {
+	if i := strings.Index(arg, "="); i > 0 {
+		return arg[:i], arg[i+1:]
+	}
+	return filepath.Base(arg), arg
+}
